@@ -1,0 +1,60 @@
+package lrfcsvm
+
+import (
+	"testing"
+
+	"lrfcsvm/internal/dataset"
+	"lrfcsvm/internal/eval"
+	"lrfcsvm/internal/features"
+)
+
+// ci returns the named CI experiment profile.
+func ci(name string) eval.Config {
+	if name == "CI50" {
+		return eval.CI50(1)
+	}
+	return eval.CI20(1)
+}
+
+// benchmarkFeatureExtraction is split into its own file to keep the
+// benchmark table in bench_test.go focused on the paper's experiments.
+func benchmarkFeatureExtraction(b *testing.B) {
+	gen, err := dataset.NewGenerator(dataset.Spec{Categories: 1, ImagesPerCategory: 1, Width: 64, Height: 64, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := gen.Render(0)
+	var extractor features.Extractor
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := extractor.Extract(img); len(d) != features.Dim {
+			b.Fatalf("unexpected descriptor length %d", len(d))
+		}
+	}
+}
+
+// TestBenchmarkProfilesAreValid guards the CI benchmark profiles against
+// accidental misconfiguration: they must validate and stay small enough to
+// keep `go test -bench=.` tractable.
+func TestBenchmarkProfilesAreValid(t *testing.T) {
+	for _, cfg := range []struct {
+		name       string
+		categories int
+	}{{"CI20", 8}, {"CI50", 12}} {
+		t.Run(cfg.name, func(t *testing.T) {
+			c := ci(cfg.name)
+			if err := c.Dataset.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if c.Dataset.Categories != cfg.categories {
+				t.Errorf("categories = %d, want %d", c.Dataset.Categories, cfg.categories)
+			}
+			if c.Dataset.Categories*c.Dataset.ImagesPerCategory > 1000 {
+				t.Error("CI profile too large for the benchmark harness")
+			}
+			if err := c.Log.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

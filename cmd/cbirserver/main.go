@@ -1,0 +1,57 @@
+// Command cbirserver serves the content-based image retrieval engine over a
+// JSON HTTP API: initial queries, relevance-feedback sessions with any of
+// the library's schemes (including the paper's LRF-CSVM), and committing
+// feedback rounds into the long-term log.
+//
+// Example:
+//
+//	featextract -out features.bin
+//	loggen -features features.bin -out log.bin
+//	cbirserver -features features.bin -log log.bin -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"lrfcsvm/internal/feedbacklog"
+	"lrfcsvm/internal/retrieval"
+	"lrfcsvm/internal/server"
+	"lrfcsvm/internal/storage"
+)
+
+func main() {
+	var (
+		featuresPath = flag.String("features", "features.bin", "feature store written by featextract")
+		logPath      = flag.String("log", "", "optional log store written by loggen")
+		addr         = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	visual, _, err := storage.LoadFeatures(*featuresPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbirserver:", err)
+		os.Exit(1)
+	}
+	var fblog *feedbacklog.Log
+	if *logPath != "" {
+		fblog, err = storage.LoadLog(*logPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cbirserver:", err)
+			os.Exit(1)
+		}
+	}
+	engine, err := retrieval.NewEngine(visual, fblog, retrieval.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbirserver:", err)
+		os.Exit(1)
+	}
+	srv := server.New(engine)
+	log.Printf("cbirserver: serving %d images (%d log sessions) on %s", engine.NumImages(), engine.NumLogSessions(), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatalf("cbirserver: %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+// Command lrfbench reproduces the paper's evaluation: Tables 1-2 and
+// Figures 3-4 (average precision of Euclidean, RF-SVM, LRF-2SVMs and
+// LRF-CSVM versus the number of returned images on the 20-Category and
+// 50-Category datasets), plus the ablation sweeps described in DESIGN.md.
+//
+// Examples:
+//
+//	lrfbench -dataset 20                      # Table 1 + Figure 3, full scale
+//	lrfbench -dataset 50 -queries 100         # Table 2 with fewer queries
+//	lrfbench -dataset 20 -profile ci          # fast scaled-down profile
+//	lrfbench -dataset 20 -ablation rho        # rho-ceiling ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lrfcsvm/internal/core"
+	"lrfcsvm/internal/eval"
+)
+
+func main() {
+	var (
+		datasetFlag = flag.Int("dataset", 20, "dataset to evaluate: 20 or 50 categories")
+		profile     = flag.String("profile", "full", "experiment profile: full (paper scale) or ci (scaled down)")
+		queries     = flag.Int("queries", 0, "override the number of evaluation queries (0 keeps the profile default)")
+		seed        = flag.Uint64("seed", 42, "experiment seed")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		ablation    = flag.String("ablation", "", "run an ablation instead of the main table: selection, rho, delta, unlabeled, logkernel")
+	)
+	flag.Parse()
+
+	cfg, name, figure, err := buildConfig(*datasetFlag, *profile, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrfbench:", err)
+		os.Exit(2)
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	cfg.Workers = *workers
+
+	start := time.Now()
+	fmt.Printf("preparing %d-Category dataset (%d images, %dx%d) and %d log sessions...\n",
+		cfg.Dataset.Categories, cfg.Dataset.Categories*cfg.Dataset.ImagesPerCategory,
+		cfg.Dataset.Width, cfg.Dataset.Height, cfg.Log.Sessions)
+	exp, err := eval.Prepare(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrfbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("prepared in %v (log coverage %.0f%%, %d judgments)\n\n",
+		time.Since(start).Round(time.Millisecond), 100*exp.LogStats.CoverageFraction, exp.LogStats.TotalJudgments)
+
+	if *ablation != "" {
+		if err := runAblation(exp, *ablation); err != nil {
+			fmt.Fprintln(os.Stderr, "lrfbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	table, err := exp.Run(name, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrfbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(table.Format())
+	fmt.Println(eval.FromTable(table, figure).Format())
+	fmt.Printf("total wall time %v\n", time.Since(start).Round(time.Second))
+}
+
+func buildConfig(dataset int, profile string, seed uint64) (eval.Config, string, string, error) {
+	var cfg eval.Config
+	var name, figure string
+	switch dataset {
+	case 20:
+		cfg, name, figure = eval.Paper20(seed), "Table 1", "Figure 3"
+		if profile == "ci" {
+			cfg = eval.CI20(seed)
+			name, figure = "Table 1 (CI profile)", "Figure 3 (CI profile)"
+		}
+	case 50:
+		cfg, name, figure = eval.Paper50(seed), "Table 2", "Figure 4"
+		if profile == "ci" {
+			cfg = eval.CI50(seed)
+			name, figure = "Table 2 (CI profile)", "Figure 4 (CI profile)"
+		}
+	default:
+		return cfg, "", "", fmt.Errorf("unknown dataset %d (want 20 or 50)", dataset)
+	}
+	if profile != "full" && profile != "ci" {
+		return cfg, "", "", fmt.Errorf("unknown profile %q (want full or ci)", profile)
+	}
+	return cfg, name, figure, nil
+}
+
+// runAblation evaluates LRF-CSVM variants around the default configuration.
+func runAblation(exp *eval.Experiment, which string) error {
+	var schemes []core.Scheme
+	switch which {
+	case "selection":
+		for _, strat := range []core.SelectionStrategy{core.SelectLogAssisted, core.SelectMaxMin, core.SelectBoundary, core.SelectRandom} {
+			schemes = append(schemes, core.LRFCSVMWithSelection{Params: core.DefaultCSVMParams(), Strategy: strat, RandomSeed: 11})
+		}
+	case "rho":
+		for _, rho := range []float64{0.1, 0.5, 1, 2} {
+			p := core.DefaultCSVMParams()
+			p.Coupled.Rho = rho
+			schemes = append(schemes, namedScheme{core.LRFCSVM{Params: p}, fmt.Sprintf("LRF-CSVM rho=%g", rho)})
+		}
+	case "delta":
+		for _, delta := range []float64{0.25, 0.5, 1, 2, 4} {
+			p := core.DefaultCSVMParams()
+			p.Coupled.Delta = delta
+			schemes = append(schemes, namedScheme{core.LRFCSVM{Params: p}, fmt.Sprintf("LRF-CSVM delta=%g", delta)})
+		}
+	case "unlabeled":
+		for _, nu := range []int{8, 16, 32, 64} {
+			p := core.DefaultCSVMParams()
+			p.NumUnlabeled = nu
+			schemes = append(schemes, namedScheme{core.LRFCSVM{Params: p}, fmt.Sprintf("LRF-CSVM N'=%d", nu)})
+		}
+	case "logkernel":
+		rbf := core.LogRBFKernel(&core.QueryContext{Visual: exp.Visual, LogVectors: exp.LogVectors, Query: 0, Labeled: []core.LabeledExample{{Index: 0, Label: 1}}})
+		linearParams := core.DefaultCSVMParams()
+		rbfParams := core.DefaultCSVMParams()
+		rbfParams.LogKernel = rbf
+		schemes = append(schemes,
+			namedScheme{core.LRF2SVMs{}, "LRF-2SVMs log=linear"},
+			namedScheme{core.LRF2SVMs{Options: core.SVMOptions{LogKernel: rbf}}, "LRF-2SVMs log=rbf"},
+			namedScheme{core.LRFCSVM{Params: linearParams}, "LRF-CSVM log=linear"},
+			namedScheme{core.LRFCSVM{Params: rbfParams}, "LRF-CSVM log=rbf"},
+		)
+	default:
+		return fmt.Errorf("unknown ablation %q (want selection, rho, delta, unlabeled or logkernel)", which)
+	}
+	// Always include the two reference schemes for context.
+	schemes = append([]core.Scheme{core.RFSVM{}, core.LRF2SVMs{}}, schemes...)
+	table, err := exp.Run("Ablation: "+which, schemes)
+	if err != nil {
+		return err
+	}
+	fmt.Println(table.Format())
+	return nil
+}
+
+// namedScheme overrides a scheme's display name so ablation variants are
+// distinguishable in the output table.
+type namedScheme struct {
+	core.Scheme
+	name string
+}
+
+func (n namedScheme) Name() string { return n.name }

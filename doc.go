@@ -1,0 +1,24 @@
+// Package lrfcsvm is a from-scratch Go reproduction of
+//
+//	S. C. H. Hoi, M. R. Lyu, R. Jin.
+//	"Integrating User Feedback Log into Relevance Feedback by Coupled SVM
+//	 for Content-Based Image Retrieval", ICDE 2005.
+//
+// The repository implements the paper's contribution — the coupled support
+// vector machine and the LRF-CSVM log-based relevance-feedback algorithm —
+// together with every substrate it depends on: a synthetic COREL-like image
+// collection, the 36-dimensional visual descriptors (HSV color moments,
+// Canny edge-direction histogram, Daubechies-4 wavelet entropies), an SMO
+// SVM solver with per-sample costs, the user-feedback log substrate and its
+// simulator, the comparison schemes of the paper's evaluation (Euclidean,
+// RF-SVM, LRF-2SVMs), the evaluation harness that regenerates Tables 1-2 and
+// Figures 3-4, an interactive retrieval engine, binary persistence, and a
+// JSON HTTP server.
+//
+// Start with the README for an architecture overview, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured results. The public entry points live under
+// internal/core (learning schemes), internal/eval (experiments),
+// internal/retrieval (interactive engine) and internal/server (HTTP API);
+// runnable programs live under cmd/ and examples/.
+package lrfcsvm

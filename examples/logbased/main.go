@@ -1,0 +1,43 @@
+// Log-based relevance feedback comparison: runs the paper's four schemes
+// (Euclidean, RF-SVM, LRF-2SVMs, LRF-CSVM) on a scaled-down version of the
+// 20-Category experiment and prints a Table-1-style comparison, showing how
+// much the user-feedback log improves retrieval over regular relevance
+// feedback.
+//
+// Run with:
+//
+//	go run ./examples/logbased
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lrfcsvm/internal/eval"
+)
+
+func main() {
+	cfg := eval.CI20(7)
+	cfg.Queries = 16 // keep the example snappy
+
+	fmt.Printf("preparing a %d-category collection with %d simulated log sessions...\n",
+		cfg.Dataset.Categories, cfg.Log.Sessions)
+	start := time.Now()
+	exp, err := eval.Prepare(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ready in %v (log covers %.0f%% of images)\n\n", time.Since(start).Round(time.Millisecond), 100*exp.LogStats.CoverageFraction)
+
+	table, err := exp.Run("Log-based relevance feedback comparison", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table.Format())
+
+	rf, _ := table.Row("RF-SVM")
+	csvm, _ := table.Row("LRF-CSVM")
+	fmt.Printf("integrating the user-feedback log changed MAP from %.3f (RF-SVM) to %.3f (LRF-CSVM): %+.1f%%\n",
+		rf.MAP, csvm.MAP, 100*csvm.MAPImprovement(rf))
+}

@@ -1,0 +1,143 @@
+// Server/client example: starts the CBIR HTTP server in-process on a local
+// port, then drives a complete interactive session against it as an HTTP
+// client — initial query, relevance judgments, a coupled-SVM refinement, and
+// committing the round into the long-term feedback log.
+//
+// Run with:
+//
+//	go run ./examples/serverclient
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"lrfcsvm/internal/dataset"
+	"lrfcsvm/internal/features"
+	"lrfcsvm/internal/feedbacklog"
+	"lrfcsvm/internal/retrieval"
+	"lrfcsvm/internal/server"
+)
+
+func main() {
+	// Build a small collection and engine.
+	gen, err := dataset.NewGenerator(dataset.Spec{Categories: 5, ImagesPerCategory: 24, Width: 40, Height: 40, Seed: 3, ExtraNoise: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var extractor features.Extractor
+	raw := extractor.ExtractAll(gen, 0)
+	norm, err := features.FitNormalizer(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	visual := norm.ApplyAll(raw)
+	labels := gen.Labels()
+	fblog, err := feedbacklog.Simulate(visual, labels, feedbacklog.SimulatorConfig{
+		Sessions: 30, ReturnedPerSession: 12, NoiseRate: 0.05, ExplorationFraction: 0.3, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := retrieval.NewEngine(visual, fblog, retrieval.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve on an ephemeral local port.
+	listener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.New(engine).Handler()}
+	go func() {
+		if err := srv.Serve(listener); err != http.ErrServerClosed {
+			log.Println("server:", err)
+		}
+	}()
+	defer srv.Close()
+	base := "http://" + listener.Addr().String()
+	fmt.Println("CBIR server listening on", base)
+	time.Sleep(50 * time.Millisecond)
+
+	// --- act as a client from here on ---
+	var status server.StatusResponse
+	mustGet(base+"/api/status", &status)
+	fmt.Printf("collection: %d images, %d log sessions\n\n", status.Images, status.LogSessions)
+
+	query := 10
+	var initial server.QueryResponse
+	mustGet(fmt.Sprintf("%s/api/query?image=%d&k=12", base, query), &initial)
+	fmt.Printf("initial results for query %d: ", query)
+	for _, r := range initial.Results {
+		fmt.Printf("%d ", r.Image)
+	}
+	fmt.Println()
+
+	var started server.StartSessionResponse
+	mustPost(base+"/api/sessions", server.StartSessionRequest{Query: query}, &started)
+
+	judge := server.JudgeRequest{SessionID: started.SessionID}
+	for _, r := range initial.Results {
+		judge.Judgments = append(judge.Judgments, struct {
+			Image    int  `json:"image"`
+			Relevant bool `json:"relevant"`
+		}{Image: r.Image, Relevant: labels[r.Image] == labels[query]})
+	}
+	var judged server.JudgeResponse
+	mustPost(base+"/api/sessions/judge", judge, &judged)
+	fmt.Printf("judged %d images in session %d\n", judged.Judgments, started.SessionID)
+
+	var refined server.RefineResponse
+	mustPost(base+"/api/sessions/refine", server.RefineRequest{SessionID: started.SessionID, Scheme: "lrf-csvm", K: 12}, &refined)
+	relevant := 0
+	fmt.Printf("LRF-CSVM refined results:  ")
+	for _, r := range refined.Results {
+		if labels[r.Image] == labels[query] {
+			relevant++
+		}
+		fmt.Printf("%d ", r.Image)
+	}
+	fmt.Printf("\nprecision@12 after one coupled-SVM round: %.2f\n", float64(relevant)/float64(len(refined.Results)))
+
+	var committed server.CommitResponse
+	mustPost(base+"/api/sessions/commit", server.CommitRequest{SessionID: started.SessionID}, &committed)
+	fmt.Printf("committed the round; the log now holds %d sessions\n", committed.LogSessions)
+}
+
+func mustGet(url string, out interface{}) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustPost(url string, body, out interface{}) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

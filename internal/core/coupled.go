@@ -1,0 +1,280 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"lrfcsvm/internal/kernel"
+	"lrfcsvm/internal/svm"
+)
+
+// Modality is one view of the data for the coupled SVM: its kernel, its
+// soft-margin cost and the representation of every labeled and unlabeled
+// training point in that view. The paper couples two modalities — low-level
+// visual content and the user-feedback log — but the formulation (and this
+// implementation) generalizes to any number of views.
+type Modality struct {
+	// Name is used in error messages and diagnostics.
+	Name string
+	// Kernel is the Mercer kernel for this view.
+	Kernel kernel.Kernel
+	// C is the soft-margin cost applied to labeled points in this view
+	// (C_w and C_u in Eq. 1 of the paper). Unlabeled points are weighted
+	// rho*C during the annealing schedule.
+	C float64
+	// Labeled and Unlabeled hold the per-point representations in this view.
+	Labeled   []kernel.Point
+	Unlabeled []kernel.Point
+}
+
+// CoupledConfig controls the alternating optimization of the coupled SVM.
+type CoupledConfig struct {
+	// RhoInit is the initial weight of the unlabeled points relative to C
+	// (the paper starts at 1e-4 to avoid early dominance of unlabeled data).
+	RhoInit float64
+	// Rho is the final weight ceiling; the weight doubles every outer
+	// iteration until it reaches Rho, as in transductive SVMs.
+	Rho float64
+	// Delta is the label-correction threshold ("degree of error" control in
+	// Fig. 1): an unlabeled point's label is only flipped when flipping it
+	// reduces the summed, cost-weighted hinge loss across the modalities by
+	// more than Delta. Larger values make label correction more
+	// conservative and avoid overlarge changes to the label set.
+	Delta float64
+	// MaxCorrectionIters bounds the inner label-correction loop of each
+	// annealing step so that oscillating flips cannot spin forever.
+	MaxCorrectionIters int
+	// Solver tunes the underlying SMO solver.
+	Solver svm.Config
+}
+
+// DefaultCoupledConfig returns the annealing schedule used by the paper's
+// algorithm (rho* from 1e-4 doubling to 1) with Delta = 1.
+func DefaultCoupledConfig() CoupledConfig {
+	return CoupledConfig{RhoInit: 1e-4, Rho: 1.0, Delta: 1.0, MaxCorrectionIters: 10}
+}
+
+func (c CoupledConfig) withDefaults() CoupledConfig {
+	d := DefaultCoupledConfig()
+	if c.RhoInit <= 0 {
+		c.RhoInit = d.RhoInit
+	}
+	if c.Rho <= 0 {
+		c.Rho = d.Rho
+	}
+	if c.Delta <= 0 {
+		c.Delta = d.Delta
+	}
+	if c.MaxCorrectionIters <= 0 {
+		c.MaxCorrectionIters = d.MaxCorrectionIters
+	}
+	return c
+}
+
+// CoupledResult is the outcome of the coupled SVM's alternating optimization.
+type CoupledResult struct {
+	// Models holds the trained decision function of every modality, in the
+	// order the modalities were given.
+	Models []*svm.Model
+	// UnlabeledLabels holds the final inferred labels Y' of the unlabeled
+	// points.
+	UnlabeledLabels []float64
+	// Flips counts individual label corrections applied to unlabeled points.
+	Flips int
+	// Retrainings counts SVM training runs per modality pair performed by
+	// the alternating optimization (including the correction loop).
+	Retrainings int
+	// RhoSteps counts outer annealing iterations.
+	RhoSteps int
+}
+
+// Decision evaluates the coupled decision value of a point given its
+// representation in every modality: the sum of the per-modality decision
+// values (CSVM_Dist in Fig. 1 of the paper).
+func (r *CoupledResult) Decision(views []kernel.Point) (float64, error) {
+	if len(views) != len(r.Models) {
+		return 0, fmt.Errorf("core: decision needs %d views, got %d", len(r.Models), len(views))
+	}
+	var sum float64
+	for m, model := range r.Models {
+		sum += model.Decision(views[m])
+	}
+	return sum, nil
+}
+
+// TrainCoupled runs the coupled SVM of Section 4 of the paper: it learns one
+// SVM per modality such that all modalities agree on the labels of the
+// unlabeled points, using the two-step alternating optimization with an
+// annealed unlabeled weight rho* and threshold-guarded label correction
+// (Fig. 1, step 2).
+//
+// labels are the ground-truth labels of the labeled points (+-1, shared by
+// every modality); initialUnlabeled are the starting labels Y' of the
+// unlabeled points (+-1), typically produced by the unlabeled-selection
+// heuristic of the practical algorithm.
+func TrainCoupled(modalities []Modality, labels []float64, initialUnlabeled []float64, cfg CoupledConfig) (*CoupledResult, error) {
+	if len(modalities) == 0 {
+		return nil, errors.New("core: coupled SVM needs at least one modality")
+	}
+	nl := len(labels)
+	nu := len(initialUnlabeled)
+	if nl == 0 {
+		return nil, errors.New("core: coupled SVM needs labeled points")
+	}
+	for _, y := range labels {
+		if y != 1 && y != -1 {
+			return nil, fmt.Errorf("core: labeled point has label %v, want +1 or -1", y)
+		}
+	}
+	for _, y := range initialUnlabeled {
+		if y != 1 && y != -1 {
+			return nil, fmt.Errorf("core: unlabeled point has initial label %v, want +1 or -1", y)
+		}
+	}
+	for _, m := range modalities {
+		if m.Kernel == nil {
+			return nil, fmt.Errorf("core: modality %q has no kernel", m.Name)
+		}
+		if m.C <= 0 {
+			return nil, fmt.Errorf("core: modality %q has non-positive cost %v", m.Name, m.C)
+		}
+		if len(m.Labeled) != nl {
+			return nil, fmt.Errorf("core: modality %q has %d labeled points, want %d", m.Name, len(m.Labeled), nl)
+		}
+		if len(m.Unlabeled) != nu {
+			return nil, fmt.Errorf("core: modality %q has %d unlabeled points, want %d", m.Name, len(m.Unlabeled), nu)
+		}
+	}
+	cfg = cfg.withDefaults()
+
+	result := &CoupledResult{
+		Models:          make([]*svm.Model, len(modalities)),
+		UnlabeledLabels: append([]float64(nil), initialUnlabeled...),
+	}
+
+	// With no unlabeled points the coupled SVM degenerates to independent
+	// per-modality SVMs on the labeled data.
+	if nu == 0 {
+		for m, mod := range modalities {
+			model, err := trainModality(mod.Labeled, labels, mod.C, mod.Kernel, cfg.Solver)
+			if err != nil {
+				return nil, fmt.Errorf("core: modality %q: %w", mod.Name, err)
+			}
+			result.Models[m] = model
+			result.Retrainings++
+		}
+		return result, nil
+	}
+
+	// trainAll trains every modality on labeled + unlabeled points with the
+	// current Y' and per-sample costs (C for labeled, rho*C for unlabeled)
+	// and returns, per modality, the decision value of every unlabeled point.
+	trainAll := func(rho float64) ([][]float64, error) {
+		decisions := make([][]float64, len(modalities))
+		for m, mod := range modalities {
+			points := make([]kernel.Point, 0, nl+nu)
+			points = append(points, mod.Labeled...)
+			points = append(points, mod.Unlabeled...)
+			ys := make([]float64, 0, nl+nu)
+			ys = append(ys, labels...)
+			ys = append(ys, result.UnlabeledLabels...)
+			costs := make([]float64, nl+nu)
+			for i := 0; i < nl; i++ {
+				costs[i] = mod.C
+			}
+			for i := 0; i < nu; i++ {
+				costs[nl+i] = rho * mod.C
+			}
+			cfgSolver := cfg.Solver
+			cfgSolver.Kernel = mod.Kernel
+			model, err := svm.Train(svm.Problem{Points: points, Labels: ys, C: costs}, cfgSolver)
+			if err != nil {
+				return nil, fmt.Errorf("core: modality %q: %w", mod.Name, err)
+			}
+			result.Models[m] = model
+			result.Retrainings++
+			dec := make([]float64, nu)
+			for i := 0; i < nu; i++ {
+				dec[i] = model.Decision(mod.Unlabeled[i])
+			}
+			decisions[m] = dec
+		}
+		return decisions, nil
+	}
+
+	// updateLabels performs the second AO step of Section 4.2: with the
+	// decision functions fixed, choose each unlabeled label y'_j to minimize
+	// the summed cost-weighted hinge loss across modalities. A label only
+	// changes when the loss reduction exceeds Delta (the Fig. 1 guard
+	// against overlarge changes to the label set), which also makes the
+	// alternation monotone and convergent rather than oscillating.
+	updateLabels := func(decisions [][]float64) int {
+		changed := 0
+		for i := 0; i < nu; i++ {
+			current := result.UnlabeledLabels[i]
+			lossCur, lossFlip := 0.0, 0.0
+			for m := range modalities {
+				lossCur += modalities[m].C * hinge(current*decisions[m][i])
+				lossFlip += modalities[m].C * hinge(-current*decisions[m][i])
+			}
+			if lossCur-lossFlip > cfg.Delta {
+				result.UnlabeledLabels[i] = -current
+				changed++
+			}
+		}
+		result.Flips += changed
+		return changed
+	}
+
+	// Annealing schedule: rho* starts small and doubles until it reaches the
+	// ceiling, mirroring the transductive SVM schedule the paper adopts.
+	// Each step alternates (train SVMs | update Y') until the label set is
+	// stable or the iteration bound is hit.
+	for rho := cfg.RhoInit; rho < cfg.Rho; rho = minFloat(2*rho, cfg.Rho) {
+		result.RhoSteps++
+		decisions, err := trainAll(rho)
+		if err != nil {
+			return nil, err
+		}
+		for iter := 0; iter < cfg.MaxCorrectionIters; iter++ {
+			if updateLabels(decisions) == 0 {
+				break
+			}
+			decisions, err = trainAll(rho)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Final pass at the full weight rho, again alternating until stable.
+	result.RhoSteps++
+	decisions, err := trainAll(cfg.Rho)
+	if err != nil {
+		return nil, err
+	}
+	for iter := 0; iter < cfg.MaxCorrectionIters; iter++ {
+		if updateLabels(decisions) == 0 {
+			break
+		}
+		decisions, err = trainAll(cfg.Rho)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+// hinge is the hinge loss max(0, 1-margin).
+func hinge(margin float64) float64 {
+	if margin >= 1 {
+		return 0
+	}
+	return 1 - margin
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"lrfcsvm/internal/linalg"
+)
+
+func TestDefaultCSVMParams(t *testing.T) {
+	p := DefaultCSVMParams()
+	if p.Cw != 1 || p.Cu != 1 || p.NumUnlabeled != 16 {
+		t.Errorf("unexpected defaults %+v", p)
+	}
+	if p.Coupled.Delta != 0.5 {
+		t.Errorf("default Delta = %v, want 0.5", p.Coupled.Delta)
+	}
+}
+
+func TestLRFCSVMRequiresLog(t *testing.T) {
+	col := makeCollection(t, 3, 10, 15, 0, 47)
+	ctx := col.queryContext(0, 8)
+	ctx.LogVectors = nil
+	if _, err := (LRFCSVM{}).Rank(ctx); err == nil {
+		t.Error("expected error without log vectors")
+	}
+}
+
+func TestLRFCSVMRankDetailed(t *testing.T) {
+	col := makeCollection(t, 4, 15, 40, 0.05, 53)
+	ctx := col.queryContext(5, 12)
+	params := DefaultCSVMParams()
+	params.NumUnlabeled = 16
+	res, err := LRFCSVM{Params: params}.RankDetailed(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != len(col.visual) {
+		t.Fatalf("scores length %d", len(res.Scores))
+	}
+	if len(res.Unlabeled) == 0 || len(res.Unlabeled) > 16 {
+		t.Errorf("unlabeled count %d", len(res.Unlabeled))
+	}
+	if len(res.Unlabeled) != len(res.UnlabeledLabels) {
+		t.Error("unlabeled indices and labels out of sync")
+	}
+	// Drafted unlabeled images must not be part of the labeled set.
+	labeledSet := ctx.labeledSet()
+	for _, idx := range res.Unlabeled {
+		if labeledSet[idx] {
+			t.Errorf("labeled image %d drafted as unlabeled", idx)
+		}
+	}
+	for _, y := range res.UnlabeledLabels {
+		if y != 1 && y != -1 {
+			t.Errorf("inferred label %v", y)
+		}
+	}
+	if res.Coupled == nil || res.Coupled.RhoSteps == 0 {
+		t.Error("missing coupled diagnostics")
+	}
+}
+
+func TestLRFCSVMBeatsRFSVMWithInformativeLog(t *testing.T) {
+	// The paper's central claim: with an informative feedback log, the
+	// coupled-SVM scheme improves retrieval precision over the regular
+	// RF-SVM scheme. Use several queries and compare average precision@20.
+	col := makeCollection(t, 4, 20, 80, 0.05, 59)
+	queries := []int{2, 24, 41, 63, 70}
+	params := DefaultCSVMParams()
+	params.NumUnlabeled = 20
+	var rfTotal, csvmTotal float64
+	for _, q := range queries {
+		ctx := col.queryContext(q, 14)
+		rf, err := RFSVM{}.Rank(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		csvm, err := LRFCSVM{Params: params}.Rank(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rfTotal += col.precisionAt(rf, q, 20)
+		csvmTotal += col.precisionAt(csvm, q, 20)
+	}
+	if csvmTotal <= rfTotal {
+		t.Errorf("LRF-CSVM precision %v not above RF-SVM %v", csvmTotal/5, rfTotal/5)
+	}
+}
+
+func TestSelectUnlabeledSplitsAndExcludes(t *testing.T) {
+	candidates := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	combined := []float64{5, 4, 3, 2, 1, 0, -1, -2}
+	idx, labels := selectUnlabeled(candidates, combined, 4)
+	if len(idx) != 4 || len(labels) != 4 {
+		t.Fatalf("selected %d/%d", len(idx), len(labels))
+	}
+	// Two highest (0,1) labeled +1; two lowest (7,6) labeled -1.
+	wantPos := map[int]bool{0: true, 1: true}
+	wantNeg := map[int]bool{7: true, 6: true}
+	for i, id := range idx {
+		if labels[i] == 1 && !wantPos[id] {
+			t.Errorf("index %d labeled +1 unexpectedly", id)
+		}
+		if labels[i] == -1 && !wantNeg[id] {
+			t.Errorf("index %d labeled -1 unexpectedly", id)
+		}
+	}
+}
+
+func TestSelectUnlabeledSmallCandidatePool(t *testing.T) {
+	idx, labels := selectUnlabeled([]int{3, 9}, []float64{0, 0, 0, 1, 0, 0, 0, 0, 0, -1}, 10)
+	if len(idx) != 2 || len(labels) != 2 {
+		t.Fatalf("selected %d", len(idx))
+	}
+	idx, labels = selectUnlabeled(nil, nil, 10)
+	if idx != nil || labels != nil {
+		t.Error("empty candidate pool should select nothing")
+	}
+}
+
+func TestBoundaryAndRandomSelection(t *testing.T) {
+	candidates := []int{0, 1, 2, 3, 4, 5}
+	combined := []float64{-3, -0.1, 0.2, 5, -2, 0.05}
+	idx, labels := BoundarySelection(candidates, combined, 3)
+	if len(idx) != 3 {
+		t.Fatalf("boundary selected %d", len(idx))
+	}
+	// The three smallest |score| are images 5 (0.05), 1 (-0.1), 2 (0.2).
+	want := map[int]bool{5: true, 1: true, 2: true}
+	for i, id := range idx {
+		if !want[id] {
+			t.Errorf("boundary selection picked %d", id)
+		}
+		if combined[id] >= 0 && labels[i] != 1 {
+			t.Errorf("label mismatch for %d", id)
+		}
+	}
+
+	rng := linalg.NewRNG(3)
+	ridx, rlabels := RandomSelection(rng, candidates, combined, 4)
+	if len(ridx) != 4 || len(rlabels) != 4 {
+		t.Fatalf("random selected %d", len(ridx))
+	}
+	seen := map[int]bool{}
+	for _, id := range ridx {
+		if seen[id] {
+			t.Error("random selection repeated an index")
+		}
+		seen[id] = true
+	}
+}
+
+func TestLRFCSVMWithSelectionStrategies(t *testing.T) {
+	col := makeCollection(t, 3, 12, 30, 0.05, 61)
+	ctx := col.queryContext(4, 10)
+	params := DefaultCSVMParams()
+	params.NumUnlabeled = 10
+	for _, strategy := range []SelectionStrategy{SelectMaxMin, SelectBoundary, SelectRandom} {
+		s := LRFCSVMWithSelection{Params: params, Strategy: strategy, RandomSeed: 7}
+		scores, err := s.Rank(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if len(scores) != len(col.visual) {
+			t.Fatalf("%s: scores length %d", strategy, len(scores))
+		}
+	}
+}
+
+func TestLRFCSVMDeterministic(t *testing.T) {
+	col := makeCollection(t, 3, 12, 30, 0.05, 67)
+	ctx := col.queryContext(9, 10)
+	params := DefaultCSVMParams()
+	params.NumUnlabeled = 10
+	a, err := LRFCSVM{Params: params}.Rank(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LRFCSVM{Params: params}.Rank(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !linalg.Vector(a).Equal(linalg.Vector(b), 1e-12) {
+		t.Error("LRF-CSVM is not deterministic for identical input")
+	}
+}

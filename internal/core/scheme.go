@@ -1,0 +1,121 @@
+// Package core implements the paper's contribution: the coupled support
+// vector machine and the LRF-CSVM log-based relevance-feedback algorithm
+// (Fig. 1 of the paper), together with the three comparison schemes of the
+// evaluation (Euclidean ranking, RF-SVM and LRF-2SVMs).
+//
+// All schemes consume a QueryContext — the collection's visual descriptors,
+// the per-image user-log relevance vectors, and the relevance judgments the
+// user supplied in the current feedback round — and produce one relevance
+// score per image; higher scores rank earlier in the returned list.
+package core
+
+import (
+	"fmt"
+
+	"lrfcsvm/internal/kernel"
+	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/sparse"
+)
+
+// LabeledExample is one image judged by the user during the current
+// relevance-feedback round.
+type LabeledExample struct {
+	// Index is the image index in the collection.
+	Index int
+	// Label is +1 for relevant, -1 for irrelevant.
+	Label float64
+}
+
+// QueryContext bundles everything a relevance-feedback scheme may use for
+// one query: the collection representations and the user's current-feedback
+// judgments. Visual descriptors are expected to be normalized (see
+// features.Normalizer); log vectors come from feedbacklog.Log.
+type QueryContext struct {
+	// Visual holds the visual descriptor of every image in the collection.
+	Visual []linalg.Vector
+	// LogVectors holds the user-log relevance vector of every image. It may
+	// be nil for schemes that do not use the log (Euclidean, RF-SVM).
+	LogVectors []*sparse.Vector
+	// Query is the index of the query image.
+	Query int
+	// Labeled is the set S_l of images judged in the current feedback round.
+	Labeled []LabeledExample
+}
+
+// Validate checks structural consistency of the context.
+func (ctx *QueryContext) Validate(needLog bool) error {
+	n := len(ctx.Visual)
+	if n == 0 {
+		return fmt.Errorf("core: query context has no images")
+	}
+	if ctx.Query < 0 || ctx.Query >= n {
+		return fmt.Errorf("core: query index %d out of range [0,%d)", ctx.Query, n)
+	}
+	if needLog {
+		if len(ctx.LogVectors) != n {
+			return fmt.Errorf("core: log vectors (%d) do not cover the collection (%d images)", len(ctx.LogVectors), n)
+		}
+	}
+	if len(ctx.Labeled) == 0 {
+		return fmt.Errorf("core: no labeled examples")
+	}
+	for _, ex := range ctx.Labeled {
+		if ex.Index < 0 || ex.Index >= n {
+			return fmt.Errorf("core: labeled image %d out of range [0,%d)", ex.Index, n)
+		}
+		if ex.Label != 1 && ex.Label != -1 {
+			return fmt.Errorf("core: labeled image %d has label %v, want +1 or -1", ex.Index, ex.Label)
+		}
+	}
+	return nil
+}
+
+// NumImages returns the collection size.
+func (ctx *QueryContext) NumImages() int { return len(ctx.Visual) }
+
+// labeledSet returns the labeled indices as a set for quick membership tests.
+func (ctx *QueryContext) labeledSet() map[int]bool {
+	set := make(map[int]bool, len(ctx.Labeled))
+	for _, ex := range ctx.Labeled {
+		set[ex.Index] = true
+	}
+	return set
+}
+
+// visualPoints returns the visual descriptors of the given image indices as
+// kernel points.
+func (ctx *QueryContext) visualPoints(indices []int) []kernel.Point {
+	out := make([]kernel.Point, len(indices))
+	for i, idx := range indices {
+		out[i] = kernel.Dense(ctx.Visual[idx])
+	}
+	return out
+}
+
+// logPoints returns the log vectors of the given image indices as kernel
+// points.
+func (ctx *QueryContext) logPoints(indices []int) []kernel.Point {
+	out := make([]kernel.Point, len(indices))
+	for i, idx := range indices {
+		out[i] = kernel.NewSparse(ctx.LogVectors[idx])
+	}
+	return out
+}
+
+// Scheme is a retrieval scheme: it scores every image of the collection for
+// the query described by the context. Higher scores are more relevant.
+type Scheme interface {
+	Name() string
+	Rank(ctx *QueryContext) ([]float64, error)
+}
+
+// TopK returns the indices of the k highest-scoring images in descending
+// score order (ties broken by ascending index). k larger than the collection
+// returns every image.
+func TopK(scores []float64, k int) []int {
+	order := linalg.ArgsortDesc(scores)
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}

@@ -1,0 +1,221 @@
+// Package eval implements the paper's evaluation harness: average precision
+// at top-N cutoffs, mean average precision over cutoffs, the automatic
+// relevance judge, and the experiment runner that regenerates Tables 1-2 and
+// Figures 3-4 for the two datasets.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"lrfcsvm/internal/core"
+)
+
+// Cutoffs are the top-N cutoffs of the paper's tables and figures: 20..100
+// returned images in steps of 10.
+var Cutoffs = []int{20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// PrecisionAt computes the paper's Average Precision metric for one query at
+// one cutoff: the number of relevant images among the top-k ranked images
+// divided by k. relevant[i] reports whether image i shares the query's
+// semantic category.
+func PrecisionAt(scores []float64, relevant []bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	top := core.TopK(scores, k)
+	if len(top) == 0 {
+		return 0
+	}
+	count := 0
+	for _, idx := range top {
+		if relevant[idx] {
+			count++
+		}
+	}
+	return float64(count) / float64(len(top))
+}
+
+// PrecisionCurve evaluates precision at every configured cutoff.
+func PrecisionCurve(scores []float64, relevant []bool, cutoffs []int) []float64 {
+	out := make([]float64, len(cutoffs))
+	for i, k := range cutoffs {
+		out[i] = PrecisionAt(scores, relevant, k)
+	}
+	return out
+}
+
+// MeanAveragePrecision is the paper's MAP row: the mean of the precision
+// values across the cutoffs of the table.
+func MeanAveragePrecision(curve []float64) float64 {
+	if len(curve) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range curve {
+		sum += p
+	}
+	return sum / float64(len(curve))
+}
+
+// Row is one scheme's row of a results table: precision per cutoff plus MAP.
+type Row struct {
+	Scheme    string
+	Precision []float64 // aligned with the Cutoffs of the Table
+	MAP       float64
+}
+
+// Improvement returns the relative improvement of this row over a baseline
+// row at cutoff index i, e.g. 0.229 for "+22.9%".
+func (r Row) Improvement(baseline Row, i int) float64 {
+	if i < 0 || i >= len(r.Precision) || i >= len(baseline.Precision) || baseline.Precision[i] == 0 {
+		return 0
+	}
+	return r.Precision[i]/baseline.Precision[i] - 1
+}
+
+// MAPImprovement returns the relative MAP improvement over a baseline row.
+func (r Row) MAPImprovement(baseline Row) float64 {
+	if baseline.MAP == 0 {
+		return 0
+	}
+	return r.MAP/baseline.MAP - 1
+}
+
+// Table is a full results table in the format of the paper's Table 1/2:
+// one row per scheme over a common list of cutoffs.
+type Table struct {
+	Name    string
+	Dataset string
+	Queries int
+	Cutoffs []int
+	Rows    []Row
+}
+
+// Row returns the row of the named scheme and whether it exists.
+func (t *Table) Row(scheme string) (Row, bool) {
+	for _, r := range t.Rows {
+		if r.Scheme == scheme {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// Format renders the table as text in the layout of the paper's tables:
+// one line per cutoff, one column per scheme, with relative improvements
+// over the baseline scheme (the second column, RF-SVM in the paper) attached
+// to the later columns.
+func (t *Table) Format() string {
+	var b []byte
+	appendf := func(format string, args ...interface{}) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	appendf("%s — %s (%d queries)\n", t.Name, t.Dataset, t.Queries)
+	appendf("%-6s", "#TOP")
+	for _, r := range t.Rows {
+		appendf("  %-22s", r.Scheme)
+	}
+	appendf("\n")
+	baselineIdx := 1
+	if len(t.Rows) < 2 {
+		baselineIdx = 0
+	}
+	for ci, k := range t.Cutoffs {
+		appendf("%-6d", k)
+		for ri, r := range t.Rows {
+			if ri <= baselineIdx {
+				appendf("  %-22s", fmt.Sprintf("%.3f", r.Precision[ci]))
+			} else {
+				appendf("  %-22s", fmt.Sprintf("%.3f (%+.1f%%)", r.Precision[ci], 100*r.Improvement(t.Rows[baselineIdx], ci)))
+			}
+		}
+		appendf("\n")
+	}
+	appendf("%-6s", "MAP")
+	for ri, r := range t.Rows {
+		if ri <= baselineIdx {
+			appendf("  %-22s", fmt.Sprintf("%.3f", r.MAP))
+		} else {
+			appendf("  %-22s", fmt.Sprintf("%.3f (%+.1f%%)", r.MAP, 100*r.MAPImprovement(t.Rows[baselineIdx])))
+		}
+	}
+	appendf("\n")
+	return string(b)
+}
+
+// Series is one scheme's curve for the paper's figures: average precision
+// versus the number of returned images.
+type Series struct {
+	Scheme string
+	X      []int
+	Y      []float64
+}
+
+// FigureData is the data behind one of the paper's figures.
+type FigureData struct {
+	Name    string
+	Dataset string
+	Series  []Series
+}
+
+// FromTable converts a results table into figure series (one per scheme).
+func FromTable(t *Table, name string) *FigureData {
+	fig := &FigureData{Name: name, Dataset: t.Dataset}
+	for _, r := range t.Rows {
+		fig.Series = append(fig.Series, Series{Scheme: r.Scheme, X: append([]int(nil), t.Cutoffs...), Y: append([]float64(nil), r.Precision...)})
+	}
+	return fig
+}
+
+// Format renders the figure data as aligned text columns, one row per cutoff.
+func (f *FigureData) Format() string {
+	var b []byte
+	appendf := func(format string, args ...interface{}) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	appendf("%s — %s\n", f.Name, f.Dataset)
+	appendf("%-10s", "#returned")
+	for _, s := range f.Series {
+		appendf("  %-12s", s.Scheme)
+	}
+	appendf("\n")
+	if len(f.Series) == 0 {
+		return string(b)
+	}
+	for i, x := range f.Series[0].X {
+		appendf("%-10d", x)
+		for _, s := range f.Series {
+			appendf("  %-12.3f", s.Y[i])
+		}
+		appendf("\n")
+	}
+	return string(b)
+}
+
+// OrderingHolds reports whether the scheme ordering (given from best to
+// worst) holds at every cutoff of the table within a tolerance: each scheme's
+// precision must be at least the next scheme's minus tol.
+func (t *Table) OrderingHolds(bestToWorst []string, tol float64) bool {
+	rows := make([]Row, 0, len(bestToWorst))
+	for _, name := range bestToWorst {
+		r, ok := t.Row(name)
+		if !ok {
+			return false
+		}
+		rows = append(rows, r)
+	}
+	for ci := range t.Cutoffs {
+		for i := 0; i+1 < len(rows); i++ {
+			if rows[i].Precision[ci] < rows[i+1].Precision[ci]-tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SortRowsByMAP orders the table rows by descending MAP (stable).
+func (t *Table) SortRowsByMAP() {
+	sort.SliceStable(t.Rows, func(i, j int) bool { return t.Rows[i].MAP > t.Rows[j].MAP })
+}

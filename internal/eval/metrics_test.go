@@ -1,0 +1,171 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecisionAt(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.5}
+	relevant := []bool{true, false, true, true, false}
+	if got := PrecisionAt(scores, relevant, 1); got != 1 {
+		t.Errorf("P@1 = %v", got)
+	}
+	if got := PrecisionAt(scores, relevant, 2); got != 0.5 {
+		t.Errorf("P@2 = %v", got)
+	}
+	if got := PrecisionAt(scores, relevant, 5); got != 0.6 {
+		t.Errorf("P@5 = %v", got)
+	}
+	// k beyond the collection size uses the whole collection.
+	if got := PrecisionAt(scores, relevant, 50); got != 0.6 {
+		t.Errorf("P@50 = %v", got)
+	}
+	if got := PrecisionAt(scores, relevant, 0); got != 0 {
+		t.Errorf("P@0 = %v", got)
+	}
+}
+
+func TestPrecisionCurveAndMAP(t *testing.T) {
+	scores := []float64{5, 4, 3, 2, 1, 0}
+	relevant := []bool{true, true, false, false, true, false}
+	curve := PrecisionCurve(scores, relevant, []int{1, 2, 4})
+	want := []float64{1, 1, 0.5}
+	for i := range want {
+		if math.Abs(curve[i]-want[i]) > 1e-12 {
+			t.Errorf("curve[%d] = %v, want %v", i, curve[i], want[i])
+		}
+	}
+	if got := MeanAveragePrecision(curve); math.Abs(got-(2.5/3)) > 1e-12 {
+		t.Errorf("MAP = %v", got)
+	}
+	if MeanAveragePrecision(nil) != 0 {
+		t.Error("MAP of empty curve should be 0")
+	}
+}
+
+// Property: precision is always within [0,1] and monotone under adding
+// relevant items at the top.
+func TestPropertyPrecisionBounds(t *testing.T) {
+	f := func(raw []bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		for i := range scores {
+			scores[i] = float64(len(raw) - i)
+		}
+		p := PrecisionAt(scores, raw, len(raw))
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowImprovement(t *testing.T) {
+	base := Row{Scheme: "base", Precision: []float64{0.4, 0.2}, MAP: 0.3}
+	better := Row{Scheme: "better", Precision: []float64{0.5, 0.25}, MAP: 0.375}
+	if got := better.Improvement(base, 0); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("improvement = %v, want 0.25", got)
+	}
+	if got := better.MAPImprovement(base); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("MAP improvement = %v", got)
+	}
+	if got := better.Improvement(base, 5); got != 0 {
+		t.Errorf("out-of-range improvement = %v", got)
+	}
+	zero := Row{Precision: []float64{0}, MAP: 0}
+	if got := better.Improvement(zero, 0); got != 0 {
+		t.Errorf("improvement over zero baseline = %v", got)
+	}
+}
+
+func testTable() *Table {
+	return &Table{
+		Name:    "Table X",
+		Dataset: "test",
+		Queries: 10,
+		Cutoffs: []int{20, 30},
+		Rows: []Row{
+			{Scheme: "Euclidean", Precision: []float64{0.4, 0.35}, MAP: 0.375},
+			{Scheme: "RF-SVM", Precision: []float64{0.5, 0.45}, MAP: 0.475},
+			{Scheme: "LRF-2SVMs", Precision: []float64{0.6, 0.5}, MAP: 0.55},
+			{Scheme: "LRF-CSVM", Precision: []float64{0.7, 0.6}, MAP: 0.65},
+		},
+	}
+}
+
+func TestTableRowLookup(t *testing.T) {
+	tbl := testTable()
+	r, ok := tbl.Row("LRF-CSVM")
+	if !ok || r.MAP != 0.65 {
+		t.Errorf("Row lookup = %+v %v", r, ok)
+	}
+	if _, ok := tbl.Row("missing"); ok {
+		t.Error("missing scheme found")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	out := testTable().Format()
+	for _, want := range []string{"Table X", "#TOP", "MAP", "LRF-CSVM", "+36.8%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableOrderingHolds(t *testing.T) {
+	tbl := testTable()
+	if !tbl.OrderingHolds([]string{"LRF-CSVM", "LRF-2SVMs", "RF-SVM", "Euclidean"}, 0) {
+		t.Error("true ordering rejected")
+	}
+	if tbl.OrderingHolds([]string{"Euclidean", "LRF-CSVM"}, 0) {
+		t.Error("false ordering accepted")
+	}
+	// With a large tolerance the inverted ordering is accepted.
+	if !tbl.OrderingHolds([]string{"RF-SVM", "LRF-2SVMs"}, 0.2) {
+		t.Error("tolerance not applied")
+	}
+	if tbl.OrderingHolds([]string{"RF-SVM", "unknown"}, 0) {
+		t.Error("unknown scheme should fail the check")
+	}
+}
+
+func TestSortRowsByMAP(t *testing.T) {
+	tbl := testTable()
+	tbl.Rows[0], tbl.Rows[3] = tbl.Rows[3], tbl.Rows[0]
+	tbl.SortRowsByMAP()
+	if tbl.Rows[0].Scheme != "LRF-CSVM" || tbl.Rows[3].Scheme != "Euclidean" {
+		t.Errorf("sorted order wrong: %v %v", tbl.Rows[0].Scheme, tbl.Rows[3].Scheme)
+	}
+}
+
+func TestFigureDataFromTable(t *testing.T) {
+	fig := FromTable(testTable(), "Figure 3")
+	if len(fig.Series) != 4 {
+		t.Fatalf("series count %d", len(fig.Series))
+	}
+	if fig.Series[0].X[0] != 20 || fig.Series[0].Y[0] != 0.4 {
+		t.Errorf("series values wrong: %+v", fig.Series[0])
+	}
+	out := fig.Format()
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "#returned") {
+		t.Errorf("figure format missing headers:\n%s", out)
+	}
+}
+
+func TestCutoffsMatchPaper(t *testing.T) {
+	want := []int{20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if len(Cutoffs) != len(want) {
+		t.Fatalf("cutoffs = %v", Cutoffs)
+	}
+	for i := range want {
+		if Cutoffs[i] != want[i] {
+			t.Fatalf("cutoffs = %v, want %v", Cutoffs, want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package features implements the three low-level visual descriptors the
+// paper uses to represent images (Section 6.2):
+//
+//   - a 9-dimensional HSV color-moment feature (mean, variance and skewness
+//     of each of the H, S and V channels),
+//   - an 18-dimensional edge-direction histogram computed from Canny edge
+//     maps and quantized into 20-degree bins,
+//   - a 9-dimensional wavelet texture feature: the entropies of the nine
+//     detail subbands of a 3-level Daubechies-4 wavelet decomposition.
+//
+// The composite 36-dimensional descriptor is produced by Extractor, and
+// Normalizer standardizes descriptors across a collection so that Euclidean
+// distances and RBF kernels treat the three feature families comparably.
+package features
+
+import (
+	"lrfcsvm/internal/imaging"
+	"lrfcsvm/internal/linalg"
+)
+
+// ColorMomentDim is the dimensionality of the color-moment descriptor:
+// 3 moments (mean, variance, skewness) x 3 HSV channels.
+const ColorMomentDim = 9
+
+// ColorMoments computes the 9-dimensional HSV color-moment feature of the
+// image: for each of the H, S and V channels it records the mean, the
+// variance and the skewness of the channel values. The hue channel is scaled
+// to [0,1] so all three channels contribute on comparable scales.
+func ColorMoments(im *imaging.Image) linalg.Vector {
+	h, s, v := im.HSV()
+	out := make(linalg.Vector, 0, ColorMomentDim)
+	for _, plane := range [][][]float64{h, s, v} {
+		flat := flatten(plane)
+		out = append(out, flat.Mean(), flat.Variance(), flat.Skewness())
+	}
+	// Hue values live in [0,360); rescale its three moments to keep the
+	// descriptor components on comparable scales before normalization.
+	out[0] /= 360
+	out[1] /= 360 * 360
+	// skewness is already standardized.
+	return out
+}
+
+func flatten(plane [][]float64) linalg.Vector {
+	if len(plane) == 0 {
+		return nil
+	}
+	out := make(linalg.Vector, 0, len(plane)*len(plane[0]))
+	for _, row := range plane {
+		out = append(out, row...)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package features
+
+import (
+	"math"
+
+	"lrfcsvm/internal/imaging"
+	"lrfcsvm/internal/linalg"
+)
+
+// WaveletDim is the dimensionality of the wavelet texture descriptor: the
+// entropies of the 9 detail subbands (3 orientations x 3 decomposition
+// levels) of a Daubechies-4 wavelet transform, as in the paper. The
+// low-pass residual image is discarded.
+const WaveletDim = 9
+
+// WaveletLevels is the number of decomposition levels used by the texture
+// descriptor.
+const WaveletLevels = 3
+
+// The Daubechies-4 filter coefficients are defined from sqrt(3); computing
+// them in an init avoids sprinkling the literal derivation at every use site.
+var (
+	d4h [4]float64 // low-pass (scaling) filter
+	d4g [4]float64 // high-pass (wavelet) filter
+)
+
+func init() {
+	s3 := math.Sqrt(3)
+	denom := 4 * math.Sqrt2
+	d4h = [4]float64{(1 + s3) / denom, (3 + s3) / denom, (3 - s3) / denom, (1 - s3) / denom}
+	// Quadrature mirror: g_k = (-1)^k h_{3-k}.
+	d4g = [4]float64{d4h[3], -d4h[2], d4h[1], -d4h[0]}
+}
+
+// Subband identifies one detail subband of a 2D wavelet decomposition.
+type Subband struct {
+	Level       int // 1-based decomposition level
+	Orientation int // 0=horizontal (LH), 1=vertical (HL), 2=diagonal (HH)
+	Coeffs      []float64
+}
+
+// dwt1D performs one level of the Daubechies-4 transform on a signal of even
+// length, producing approximation (low-pass) and detail (high-pass) halves.
+// The signal is extended periodically at the boundary.
+func dwt1D(x []float64, approx, detail []float64) {
+	n := len(x)
+	half := n / 2
+	for i := 0; i < half; i++ {
+		var a, d float64
+		for k := 0; k < 4; k++ {
+			idx := (2*i + k) % n
+			a += d4h[k] * x[idx]
+			d += d4g[k] * x[idx]
+		}
+		approx[i] = a
+		detail[i] = d
+	}
+}
+
+// dwt2D performs one level of the 2D separable DWT on plane (h x w, both
+// even), returning the LL approximation and the LH, HL, HH detail planes.
+func dwt2D(plane [][]float64) (ll, lh, hl, hh [][]float64) {
+	h := len(plane)
+	w := len(plane[0])
+	// Row transform.
+	rowsLo := newPlane(w/2, h)
+	rowsHi := newPlane(w/2, h)
+	for y := 0; y < h; y++ {
+		dwt1D(plane[y][:w], rowsLo[y], rowsHi[y])
+	}
+	// Column transform of both halves.
+	ll = newPlane(w/2, h/2)
+	lh = newPlane(w/2, h/2)
+	hl = newPlane(w/2, h/2)
+	hh = newPlane(w/2, h/2)
+	colIn := make([]float64, h)
+	colLo := make([]float64, h/2)
+	colHi := make([]float64, h/2)
+	for x := 0; x < w/2; x++ {
+		// Low-pass rows -> LL / LH.
+		for y := 0; y < h; y++ {
+			colIn[y] = rowsLo[y][x]
+		}
+		dwt1D(colIn, colLo, colHi)
+		for y := 0; y < h/2; y++ {
+			ll[y][x] = colLo[y]
+			lh[y][x] = colHi[y]
+		}
+		// High-pass rows -> HL / HH.
+		for y := 0; y < h; y++ {
+			colIn[y] = rowsHi[y][x]
+		}
+		dwt1D(colIn, colLo, colHi)
+		for y := 0; y < h/2; y++ {
+			hl[y][x] = colLo[y]
+			hh[y][x] = colHi[y]
+		}
+	}
+	return ll, lh, hl, hh
+}
+
+// DWT computes a multi-level Daubechies-4 decomposition of a grayscale plane
+// and returns the detail subbands from the finest to the coarsest level.
+// Planes with odd dimensions are truncated to even sizes; decomposition
+// stops early if a level would become smaller than 2x2.
+func DWT(gray [][]float64, levels int) []Subband {
+	h := len(gray)
+	if h == 0 {
+		return nil
+	}
+	w := len(gray[0])
+	// Truncate to even dimensions.
+	h -= h % 2
+	w -= w % 2
+	if h < 2 || w < 2 {
+		return nil
+	}
+	current := newPlane(w, h)
+	for y := 0; y < h; y++ {
+		copy(current[y], gray[y][:w])
+	}
+	var bands []Subband
+	for level := 1; level <= levels; level++ {
+		ch := len(current)
+		if ch < 2 {
+			break
+		}
+		cw := len(current[0])
+		if cw < 2 {
+			break
+		}
+		ll, lh, hl, hh := dwt2D(current)
+		bands = append(bands,
+			Subband{Level: level, Orientation: 0, Coeffs: flattenPlane(lh)},
+			Subband{Level: level, Orientation: 1, Coeffs: flattenPlane(hl)},
+			Subband{Level: level, Orientation: 2, Coeffs: flattenPlane(hh)},
+		)
+		current = ll
+		// Keep the LL dimensions even for the next level.
+		if len(current)%2 == 1 {
+			current = current[:len(current)-1]
+		}
+		if len(current) > 0 && len(current[0])%2 == 1 {
+			for y := range current {
+				current[y] = current[y][:len(current[y])-1]
+			}
+		}
+	}
+	return bands
+}
+
+func flattenPlane(p [][]float64) []float64 {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(p)*len(p[0]))
+	for _, row := range p {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// SubbandEntropy computes the Shannon entropy of the energy distribution of
+// a subband's coefficients: p_i = c_i^2 / sum_j c_j^2. A zero-energy subband
+// has zero entropy. Coefficients whose magnitude is below a small floor are
+// treated as exactly zero so that floating-point residue from the transform
+// of smooth regions does not masquerade as texture.
+func SubbandEntropy(coeffs []float64) float64 {
+	const coeffFloor = 1e-6
+	energies := make([]float64, len(coeffs))
+	for i, c := range coeffs {
+		if c > -coeffFloor && c < coeffFloor {
+			continue
+		}
+		energies[i] = c * c
+	}
+	return linalg.Entropy(energies)
+}
+
+// WaveletTexture computes the 9-dimensional wavelet texture descriptor of
+// the image: the entropy of each of the 9 detail subbands of a 3-level
+// Daubechies-4 decomposition of the grayscale image, ordered
+// (LH1,HL1,HH1, LH2,HL2,HH2, LH3,HL3,HH3). Entropies are normalized by the
+// log of the subband size so that all components lie in [0,1] regardless of
+// image resolution. Missing levels (image too small) contribute zeros.
+func WaveletTexture(im *imaging.Image) linalg.Vector {
+	gray := im.Gray()
+	bands := DWT(gray, WaveletLevels)
+	out := make(linalg.Vector, WaveletDim)
+	for _, b := range bands {
+		idx := (b.Level-1)*3 + b.Orientation
+		if idx < 0 || idx >= WaveletDim {
+			continue
+		}
+		h := SubbandEntropy(b.Coeffs)
+		if n := len(b.Coeffs); n > 1 {
+			h /= math.Log(float64(n))
+		}
+		out[idx] = h
+	}
+	return out
+}

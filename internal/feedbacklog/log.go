@@ -1,0 +1,174 @@
+// Package feedbacklog implements the user-feedback log substrate of the
+// paper: log sessions, the relevance matrix R whose columns are the per-image
+// log relevance vectors r_i, and a simulator that collects log sessions the
+// way the paper describes collecting them from real users (Section 6.3),
+// including judgment noise.
+package feedbacklog
+
+import (
+	"fmt"
+	"sort"
+
+	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/sparse"
+)
+
+// Judgment is a user relevance judgment recorded in the log: +1 for
+// relevant, -1 for irrelevant. Images not shown in a session have no
+// judgment (0 in the relevance matrix).
+type Judgment int8
+
+// Judgment values.
+const (
+	Relevant   Judgment = 1
+	Irrelevant Judgment = -1
+)
+
+// Session is one unit of user feedback: a single relevance-feedback round in
+// which the user judged the images returned for a query.
+type Session struct {
+	// ID is the session's position in the log (assigned by Log.AddSession).
+	ID int
+	// QueryImage is the image index the (simulated) user used as the query.
+	QueryImage int
+	// TargetCategory is the semantic category the user had in mind. It is
+	// metadata for analysis; the learning algorithms never see it.
+	TargetCategory int
+	// Judgments maps image index -> judgment for every image shown in this
+	// session.
+	Judgments map[int]Judgment
+}
+
+// Log is an ordered collection of feedback sessions over a fixed image
+// collection. It is the log database of the paper: a relevance matrix with
+// one row per session and one column per image.
+type Log struct {
+	numImages int
+	sessions  []Session
+}
+
+// NewLog creates an empty log over a collection of numImages images.
+func NewLog(numImages int) *Log {
+	if numImages <= 0 {
+		panic(fmt.Sprintf("feedbacklog: non-positive image count %d", numImages))
+	}
+	return &Log{numImages: numImages}
+}
+
+// NumImages returns the size of the image collection the log refers to.
+func (l *Log) NumImages() int { return l.numImages }
+
+// NumSessions returns the number of recorded sessions, i.e. the
+// dimensionality M of the per-image log relevance vectors.
+func (l *Log) NumSessions() int { return len(l.sessions) }
+
+// Sessions returns the recorded sessions in insertion order. The returned
+// slice is shared; callers must not modify it.
+func (l *Log) Sessions() []Session { return l.sessions }
+
+// AddSession appends a session to the log, assigning its ID. Judgments that
+// reference images outside the collection are rejected.
+func (l *Log) AddSession(s Session) (int, error) {
+	if len(s.Judgments) == 0 {
+		return 0, fmt.Errorf("feedbacklog: session with no judgments")
+	}
+	for img, j := range s.Judgments {
+		if img < 0 || img >= l.numImages {
+			return 0, fmt.Errorf("feedbacklog: judgment for image %d outside collection of %d images", img, l.numImages)
+		}
+		if j != Relevant && j != Irrelevant {
+			return 0, fmt.Errorf("feedbacklog: invalid judgment %d for image %d", j, img)
+		}
+	}
+	s.ID = len(l.sessions)
+	l.sessions = append(l.sessions, s)
+	return s.ID, nil
+}
+
+// RelevanceVector returns the log relevance vector r_i of one image: a
+// sparse vector with one component per session, +1/-1 where the image was
+// judged and 0 elsewhere.
+func (l *Log) RelevanceVector(image int) *sparse.Vector {
+	if image < 0 || image >= l.numImages {
+		panic(fmt.Sprintf("feedbacklog: image %d out of range [0,%d)", image, l.numImages))
+	}
+	v := sparse.New(len(l.sessions))
+	for sid, s := range l.sessions {
+		if j, ok := s.Judgments[image]; ok {
+			v.Set(sid, float64(j))
+		}
+	}
+	return v
+}
+
+// RelevanceVectors returns the log relevance vectors of every image, indexed
+// by image index. This is the column view of the relevance matrix R.
+func (l *Log) RelevanceVectors() []*sparse.Vector {
+	out := make([]*sparse.Vector, l.numImages)
+	for i := range out {
+		out[i] = sparse.New(len(l.sessions))
+	}
+	for sid, s := range l.sessions {
+		// Deterministic iteration keeps the construction reproducible even
+		// though map order is random: entries are set per image, and Set
+		// keeps per-vector entries sorted by session index anyway.
+		imgs := make([]int, 0, len(s.Judgments))
+		for img := range s.Judgments {
+			imgs = append(imgs, img)
+		}
+		sort.Ints(imgs)
+		for _, img := range imgs {
+			out[img].Set(sid, float64(s.Judgments[img]))
+		}
+	}
+	return out
+}
+
+// Stats summarizes a log.
+type Stats struct {
+	Sessions          int
+	JudgedImages      int // distinct images with at least one judgment
+	TotalJudgments    int // sum over sessions of judged images
+	PositiveJudgments int
+	NegativeJudgments int
+	MeanPerSession    float64 // judgments per session
+	CoverageFraction  float64 // judged images / collection size
+}
+
+// Stats computes summary statistics of the log.
+func (l *Log) Stats() Stats {
+	st := Stats{Sessions: len(l.sessions)}
+	judged := make(map[int]bool)
+	for _, s := range l.sessions {
+		st.TotalJudgments += len(s.Judgments)
+		for img, j := range s.Judgments {
+			judged[img] = true
+			if j == Relevant {
+				st.PositiveJudgments++
+			} else {
+				st.NegativeJudgments++
+			}
+		}
+	}
+	st.JudgedImages = len(judged)
+	if st.Sessions > 0 {
+		st.MeanPerSession = float64(st.TotalJudgments) / float64(st.Sessions)
+	}
+	if l.numImages > 0 {
+		st.CoverageFraction = float64(st.JudgedImages) / float64(l.numImages)
+	}
+	return st
+}
+
+// DenseRelevanceMatrix materializes the relevance matrix R as a dense
+// sessions x images matrix. Intended for tests and analysis tools, not for
+// the learning path, which uses the sparse column view.
+func (l *Log) DenseRelevanceMatrix() *linalg.Matrix {
+	m := linalg.NewMatrix(len(l.sessions), l.numImages)
+	for sid, s := range l.sessions {
+		for img, j := range s.Judgments {
+			m.Set(sid, img, float64(j))
+		}
+	}
+	return m
+}

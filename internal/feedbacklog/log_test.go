@@ -1,0 +1,142 @@
+package feedbacklog
+
+import (
+	"testing"
+)
+
+func TestNewLogPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLog(0)
+}
+
+func TestAddSessionValidation(t *testing.T) {
+	l := NewLog(10)
+	if _, err := l.AddSession(Session{Judgments: map[int]Judgment{}}); err == nil {
+		t.Error("empty session accepted")
+	}
+	if _, err := l.AddSession(Session{Judgments: map[int]Judgment{10: Relevant}}); err == nil {
+		t.Error("out-of-range image accepted")
+	}
+	if _, err := l.AddSession(Session{Judgments: map[int]Judgment{3: 2}}); err == nil {
+		t.Error("invalid judgment accepted")
+	}
+	id, err := l.AddSession(Session{Judgments: map[int]Judgment{3: Relevant, 4: Irrelevant}})
+	if err != nil {
+		t.Fatalf("valid session rejected: %v", err)
+	}
+	if id != 0 || l.NumSessions() != 1 {
+		t.Errorf("id=%d sessions=%d", id, l.NumSessions())
+	}
+}
+
+func TestSessionIDsSequential(t *testing.T) {
+	l := NewLog(5)
+	for i := 0; i < 3; i++ {
+		id, err := l.AddSession(Session{Judgments: map[int]Judgment{i: Relevant}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Errorf("session %d got id %d", i, id)
+		}
+	}
+	if l.Sessions()[2].ID != 2 {
+		t.Error("stored session ID mismatch")
+	}
+}
+
+func TestRelevanceVector(t *testing.T) {
+	l := NewLog(6)
+	mustAdd(t, l, map[int]Judgment{0: Relevant, 1: Irrelevant})
+	mustAdd(t, l, map[int]Judgment{0: Relevant, 2: Relevant})
+	mustAdd(t, l, map[int]Judgment{1: Relevant, 0: Irrelevant})
+
+	r0 := l.RelevanceVector(0)
+	if r0.Dim != 3 {
+		t.Fatalf("r0 dim = %d, want 3", r0.Dim)
+	}
+	if r0.At(0) != 1 || r0.At(1) != 1 || r0.At(2) != -1 {
+		t.Errorf("r0 = %v", r0.ToDense())
+	}
+	r5 := l.RelevanceVector(5)
+	if r5.NNZ() != 0 {
+		t.Errorf("never-judged image has %d non-zeros", r5.NNZ())
+	}
+}
+
+func TestRelevanceVectorsMatchSingle(t *testing.T) {
+	l := NewLog(4)
+	mustAdd(t, l, map[int]Judgment{0: Relevant, 3: Irrelevant})
+	mustAdd(t, l, map[int]Judgment{1: Relevant, 3: Relevant})
+	all := l.RelevanceVectors()
+	if len(all) != 4 {
+		t.Fatalf("got %d vectors", len(all))
+	}
+	for img := 0; img < 4; img++ {
+		if !all[img].Equal(l.RelevanceVector(img), 0) {
+			t.Errorf("vector %d differs between bulk and single computation", img)
+		}
+	}
+}
+
+func TestRelevanceVectorOutOfRangePanics(t *testing.T) {
+	l := NewLog(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.RelevanceVector(2)
+}
+
+func TestDenseRelevanceMatrix(t *testing.T) {
+	l := NewLog(3)
+	mustAdd(t, l, map[int]Judgment{0: Relevant, 2: Irrelevant})
+	m := l.DenseRelevanceMatrix()
+	if m.Rows != 1 || m.Cols != 3 {
+		t.Fatalf("matrix shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(0, 0) != 1 || m.At(0, 1) != 0 || m.At(0, 2) != -1 {
+		t.Errorf("matrix row = %v", m.Row(0))
+	}
+}
+
+func TestStats(t *testing.T) {
+	l := NewLog(10)
+	mustAdd(t, l, map[int]Judgment{0: Relevant, 1: Irrelevant, 2: Irrelevant})
+	mustAdd(t, l, map[int]Judgment{0: Relevant, 3: Relevant})
+	st := l.Stats()
+	if st.Sessions != 2 {
+		t.Errorf("Sessions = %d", st.Sessions)
+	}
+	if st.TotalJudgments != 5 || st.PositiveJudgments != 3 || st.NegativeJudgments != 2 {
+		t.Errorf("judgment counts = %+v", st)
+	}
+	if st.JudgedImages != 4 {
+		t.Errorf("JudgedImages = %d, want 4", st.JudgedImages)
+	}
+	if st.MeanPerSession != 2.5 {
+		t.Errorf("MeanPerSession = %v", st.MeanPerSession)
+	}
+	if st.CoverageFraction != 0.4 {
+		t.Errorf("CoverageFraction = %v", st.CoverageFraction)
+	}
+}
+
+func TestEmptyLogStats(t *testing.T) {
+	st := NewLog(5).Stats()
+	if st.Sessions != 0 || st.TotalJudgments != 0 || st.MeanPerSession != 0 {
+		t.Errorf("empty log stats = %+v", st)
+	}
+}
+
+func mustAdd(t *testing.T, l *Log, judgments map[int]Judgment) {
+	t.Helper()
+	if _, err := l.AddSession(Session{Judgments: judgments}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package feedbacklog
+
+import (
+	"testing"
+
+	"lrfcsvm/internal/linalg"
+)
+
+// clusteredFeatures builds a tiny synthetic collection with clear visual
+// clusters so the simulated retrieval has structure: nPerCat images per
+// category, category c centered at (3c, 0).
+func clusteredFeatures(nCat, nPerCat int, seed uint64) ([]linalg.Vector, []int) {
+	rng := linalg.NewRNG(seed)
+	var feats []linalg.Vector
+	var labels []int
+	for c := 0; c < nCat; c++ {
+		for i := 0; i < nPerCat; i++ {
+			feats = append(feats, linalg.Vector{float64(3*c) + rng.Normal(0, 0.5), rng.Normal(0, 0.5)})
+			labels = append(labels, c)
+		}
+	}
+	return feats, labels
+}
+
+func TestSimulatorConfigValidate(t *testing.T) {
+	if err := DefaultSimulatorConfig(1).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []SimulatorConfig{
+		{Sessions: 0, ReturnedPerSession: 20},
+		{Sessions: 10, ReturnedPerSession: 0},
+		{Sessions: 10, ReturnedPerSession: 20, NoiseRate: -0.1},
+		{Sessions: 10, ReturnedPerSession: 20, NoiseRate: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSimulateBasicShape(t *testing.T) {
+	feats, labels := clusteredFeatures(4, 10, 3)
+	cfg := SimulatorConfig{Sessions: 25, ReturnedPerSession: 8, NoiseRate: 0, Seed: 7}
+	log, err := Simulate(feats, labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.NumSessions() != 25 {
+		t.Fatalf("sessions = %d", log.NumSessions())
+	}
+	for _, s := range log.Sessions() {
+		if len(s.Judgments) != 8 {
+			t.Errorf("session %d judged %d images, want 8", s.ID, len(s.Judgments))
+		}
+		// The query itself is in the returned list and must be judged
+		// relevant when there is no noise.
+		if j, ok := s.Judgments[s.QueryImage]; !ok || j != Relevant {
+			t.Errorf("session %d: query image judgment = %v (present=%v)", s.ID, j, ok)
+		}
+	}
+}
+
+func TestSimulateNoiseFreeJudgmentsMatchCategories(t *testing.T) {
+	feats, labels := clusteredFeatures(3, 12, 5)
+	log, err := Simulate(feats, labels, SimulatorConfig{Sessions: 30, ReturnedPerSession: 10, NoiseRate: 0, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range log.Sessions() {
+		for img, j := range s.Judgments {
+			want := Irrelevant
+			if labels[img] == s.TargetCategory {
+				want = Relevant
+			}
+			if j != want {
+				t.Fatalf("session %d image %d judged %v, want %v", s.ID, img, j, want)
+			}
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	feats, labels := clusteredFeatures(3, 10, 9)
+	cfg := SimulatorConfig{Sessions: 15, ReturnedPerSession: 6, NoiseRate: 0.1, Seed: 42}
+	a, err := Simulate(feats, labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(feats, labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sessions() {
+		sa, sb := a.Sessions()[i], b.Sessions()[i]
+		if sa.QueryImage != sb.QueryImage || len(sa.Judgments) != len(sb.Judgments) {
+			t.Fatalf("session %d differs between identical runs", i)
+		}
+		for img, j := range sa.Judgments {
+			if sb.Judgments[img] != j {
+				t.Fatalf("session %d image %d differs", i, img)
+			}
+		}
+	}
+}
+
+func TestSimulateNoiseRateApproximate(t *testing.T) {
+	feats, labels := clusteredFeatures(2, 30, 13)
+	noisy, err := Simulate(feats, labels, SimulatorConfig{Sessions: 200, ReturnedPerSession: 15, NoiseRate: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped, total := 0, 0
+	for _, s := range noisy.Sessions() {
+		for img, j := range s.Judgments {
+			want := Irrelevant
+			if labels[img] == s.TargetCategory {
+				want = Relevant
+			}
+			if j != want {
+				flipped++
+			}
+			total++
+		}
+	}
+	frac := float64(flipped) / float64(total)
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("observed flip rate %v, want ~0.2", frac)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	feats, labels := clusteredFeatures(2, 5, 1)
+	if _, err := Simulate(nil, nil, DefaultSimulatorConfig(1)); err == nil {
+		t.Error("empty collection accepted")
+	}
+	if _, err := Simulate(feats, labels[:3], DefaultSimulatorConfig(1)); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if _, err := Simulate(feats, labels, SimulatorConfig{Sessions: -1, ReturnedPerSession: 5}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSimulateReturnedLargerThanCollection(t *testing.T) {
+	feats, labels := clusteredFeatures(2, 3, 1) // 6 images
+	log, err := Simulate(feats, labels, SimulatorConfig{Sessions: 4, ReturnedPerSession: 50, NoiseRate: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range log.Sessions() {
+		if len(s.Judgments) != 6 {
+			t.Errorf("session judged %d images, want entire collection (6)", len(s.Judgments))
+		}
+	}
+}
+
+func TestSimulatedLogVectorsCorrelateWithinCategory(t *testing.T) {
+	// The log structure the coupled SVM exploits: images of the same
+	// category should have more similar log vectors than images of
+	// different categories.
+	feats, labels := clusteredFeatures(4, 15, 21)
+	log, err := Simulate(feats, labels, SimulatorConfig{Sessions: 80, ReturnedPerSession: 12, NoiseRate: 0.05, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors := log.RelevanceVectors()
+	var sameDot, diffDot float64
+	var nSame, nDiff int
+	for i := 0; i < len(vectors); i++ {
+		for j := i + 1; j < len(vectors); j++ {
+			d := vectors[i].Dot(vectors[j])
+			if labels[i] == labels[j] {
+				sameDot += d
+				nSame++
+			} else {
+				diffDot += d
+				nDiff++
+			}
+		}
+	}
+	sameDot /= float64(nSame)
+	diffDot /= float64(nDiff)
+	if sameDot <= diffDot {
+		t.Errorf("same-category log similarity %v not greater than cross-category %v", sameDot, diffDot)
+	}
+}

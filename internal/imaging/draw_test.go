@@ -1,0 +1,169 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+
+	"lrfcsvm/internal/linalg"
+)
+
+func TestDrawRect(t *testing.T) {
+	im := New(8, 8)
+	im.DrawRect(2, 2, 5, 5, Color{1, 0, 0})
+	r, _, _ := im.At(3, 3)
+	if r != 255 {
+		t.Error("rect interior not painted")
+	}
+	r, _, _ = im.At(6, 6)
+	if r != 0 {
+		t.Error("rect exterior painted")
+	}
+}
+
+func TestDrawRectClipped(t *testing.T) {
+	im := New(4, 4)
+	// Must not panic when the rect extends outside the image.
+	im.DrawRect(-5, -5, 100, 100, Color{0, 1, 0})
+	_, g, _ := im.At(0, 0)
+	if g != 255 {
+		t.Error("clipped rect did not paint inside")
+	}
+}
+
+func TestDrawCircle(t *testing.T) {
+	im := New(20, 20)
+	im.DrawCircle(10, 10, 5, Color{0, 0, 1})
+	_, _, b := im.At(10, 10)
+	if b != 255 {
+		t.Error("circle center not painted")
+	}
+	_, _, b = im.At(0, 0)
+	if b != 0 {
+		t.Error("far corner painted")
+	}
+	_, _, b = im.At(10, 16)
+	if b != 0 {
+		t.Error("point outside radius painted")
+	}
+}
+
+func TestDrawLineEndpoints(t *testing.T) {
+	im := New(10, 10)
+	im.DrawLine(1, 1, 8, 6, Color{1, 1, 1})
+	r, _, _ := im.At(1, 1)
+	if r != 255 {
+		t.Error("line start not painted")
+	}
+	r, _, _ = im.At(8, 6)
+	if r != 255 {
+		t.Error("line end not painted")
+	}
+}
+
+func TestDrawGradientMonotone(t *testing.T) {
+	im := New(32, 8)
+	im.DrawGradient(Color{0, 0, 0}, Color{1, 1, 1}, 0)
+	rLeft, _, _ := im.At(0, 4)
+	rRight, _, _ := im.At(31, 4)
+	if rLeft >= rRight {
+		t.Errorf("gradient not increasing: left=%d right=%d", rLeft, rRight)
+	}
+}
+
+func TestDrawStripesPeriodicity(t *testing.T) {
+	im := New(32, 8)
+	im.DrawStripes(Color{1, 1, 1}, Color{0, 0, 0}, 8, 0)
+	// One full period later the color must repeat.
+	r0, _, _ := im.At(1, 2)
+	r8, _, _ := im.At(9, 2)
+	if r0 != r8 {
+		t.Errorf("stripes not periodic: %d vs %d", r0, r8)
+	}
+	// Half a period later the color must flip.
+	r4, _, _ := im.At(5, 2)
+	if r0 == r4 {
+		t.Error("stripes do not alternate")
+	}
+}
+
+func TestDrawChecker(t *testing.T) {
+	im := New(8, 8)
+	im.DrawChecker(Color{1, 1, 1}, Color{0, 0, 0}, 2)
+	r00, _, _ := im.At(0, 0)
+	r20, _, _ := im.At(2, 0)
+	r22, _, _ := im.At(2, 2)
+	if r00 == r20 {
+		t.Error("adjacent cells have the same color")
+	}
+	if r00 != r22 {
+		t.Error("diagonal cells differ")
+	}
+}
+
+func TestDrawSinusoidChangesPixels(t *testing.T) {
+	im := New(32, 32)
+	im.Fill(128, 128, 128)
+	im.DrawSinusoid(4, 0, 0.5)
+	var minR, maxR uint8 = 255, 0
+	for x := 0; x < 32; x++ {
+		r, _, _ := im.At(x, 16)
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR-minR < 30 {
+		t.Errorf("sinusoid modulation too weak: min=%d max=%d", minR, maxR)
+	}
+}
+
+func TestAddNoiseBounded(t *testing.T) {
+	im := New(16, 16)
+	im.Fill(128, 128, 128)
+	im.AddNoise(linalg.NewRNG(1), 20)
+	changed := false
+	for _, p := range im.Pix {
+		if p != 128 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("noise changed nothing")
+	}
+}
+
+func TestDrawBlobsPaintsSomething(t *testing.T) {
+	im := New(32, 32)
+	im.DrawBlobs(linalg.NewRNG(2), 10, 30, 10, 2, 6)
+	nonBlack := 0
+	for i := 0; i < len(im.Pix); i += 3 {
+		if im.Pix[i] != 0 || im.Pix[i+1] != 0 || im.Pix[i+2] != 0 {
+			nonBlack++
+		}
+	}
+	if nonBlack < 20 {
+		t.Errorf("blobs painted only %d pixels", nonBlack)
+	}
+}
+
+func TestColorLerp(t *testing.T) {
+	a := Color{0, 0, 0}
+	b := Color{1, 0.5, 0}
+	mid := a.Lerp(b, 0.5)
+	if math.Abs(mid.R-0.5) > 1e-12 || math.Abs(mid.G-0.25) > 1e-12 || mid.B != 0 {
+		t.Errorf("Lerp = %+v", mid)
+	}
+	if a.Lerp(b, 0) != a || a.Lerp(b, 1) != b {
+		t.Error("Lerp endpoints wrong")
+	}
+}
+
+func TestFromHSV(t *testing.T) {
+	c := FromHSV(0, 1, 1)
+	if math.Abs(c.R-1) > 0.01 || c.G > 0.01 || c.B > 0.01 {
+		t.Errorf("FromHSV(0,1,1) = %+v, want red", c)
+	}
+}

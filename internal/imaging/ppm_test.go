@@ -1,0 +1,79 @@
+package imaging
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lrfcsvm/internal/linalg"
+)
+
+func TestPPMRoundTrip(t *testing.T) {
+	im := New(13, 7)
+	im.DrawGradient(Color{0, 0, 0}, Color{1, 0.5, 0.25}, 0.3)
+	im.AddNoise(linalg.NewRNG(3), 10)
+
+	var buf bytes.Buffer
+	if err := EncodePPM(&buf, im); err != nil {
+		t.Fatalf("EncodePPM: %v", err)
+	}
+	got, err := DecodePPM(&buf)
+	if err != nil {
+		t.Fatalf("DecodePPM: %v", err)
+	}
+	if got.Width != im.Width || got.Height != im.Height {
+		t.Fatalf("round-trip shape %dx%d", got.Width, got.Height)
+	}
+	if !bytes.Equal(got.Pix, im.Pix) {
+		t.Error("round-trip pixel data differs")
+	}
+}
+
+func TestPPMHeader(t *testing.T) {
+	im := New(3, 2)
+	var buf bytes.Buffer
+	if err := EncodePPM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P6\n3 2\n255\n") {
+		t.Errorf("unexpected header: %q", buf.String()[:14])
+	}
+}
+
+func TestDecodePPMErrors(t *testing.T) {
+	cases := map[string]string{
+		"wrong magic": "P3\n2 2\n255\n",
+		"bad size":    "P6\n0 2\n255\n",
+		"bad maxval":  "P6\n2 2\n65535\n",
+		"truncated":   "P6\n2 2\n255\nab",
+	}
+	for name, in := range cases {
+		if _, err := DecodePPM(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveLoadPPM(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.ppm")
+	im := New(5, 5)
+	im.DrawChecker(Color{1, 0, 0}, Color{0, 0, 1}, 2)
+	if err := SavePPM(path, im); err != nil {
+		t.Fatalf("SavePPM: %v", err)
+	}
+	got, err := LoadPPM(path)
+	if err != nil {
+		t.Fatalf("LoadPPM: %v", err)
+	}
+	if !bytes.Equal(got.Pix, im.Pix) {
+		t.Error("file round-trip pixel data differs")
+	}
+}
+
+func TestLoadPPMMissingFile(t *testing.T) {
+	if _, err := LoadPPM(filepath.Join(t.TempDir(), "missing.ppm")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

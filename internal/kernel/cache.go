@@ -1,0 +1,82 @@
+package kernel
+
+import "container/list"
+
+// Cache memoizes kernel evaluations between indexed points. The SMO solver
+// repeatedly asks for the same rows of the Gram matrix while it sweeps
+// working pairs; caching rows keeps training cost close to linear in the
+// number of iterations for the small problems relevance feedback solves.
+//
+// The cache stores whole rows keyed by point index and evicts the least
+// recently used rows beyond its capacity. It is not safe for concurrent use;
+// each solver owns its own cache.
+type Cache struct {
+	kernel   Kernel
+	points   []Point
+	capacity int
+
+	rows         map[int][]float64
+	lru          *list.List // front = most recently used
+	pos          map[int]*list.Element
+	hits, misses int
+}
+
+// NewCache builds a row cache over the given points. capacity is the maximum
+// number of rows kept; a non-positive capacity keeps every row.
+func NewCache(k Kernel, points []Point, capacity int) *Cache {
+	if capacity <= 0 || capacity > len(points) {
+		capacity = len(points)
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		kernel:   k,
+		points:   points,
+		capacity: capacity,
+		rows:     make(map[int][]float64),
+		lru:      list.New(),
+		pos:      make(map[int]*list.Element),
+	}
+}
+
+// Row returns the kernel row K(points[i], points[j]) for all j, computing
+// and caching it on first use.
+func (c *Cache) Row(i int) []float64 {
+	if row, ok := c.rows[i]; ok {
+		c.hits++
+		c.lru.MoveToFront(c.pos[i])
+		return row
+	}
+	c.misses++
+	row := make([]float64, len(c.points))
+	for j := range c.points {
+		row[j] = c.kernel.Eval(c.points[i], c.points[j])
+	}
+	if len(c.rows) >= c.capacity {
+		c.evict()
+	}
+	c.rows[i] = row
+	c.pos[i] = c.lru.PushFront(i)
+	return row
+}
+
+// Eval returns K(points[i], points[j]) through the row cache.
+func (c *Cache) Eval(i, j int) float64 { return c.Row(i)[j] }
+
+// Stats reports cache hits and misses since creation.
+func (c *Cache) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// Len returns the number of cached rows.
+func (c *Cache) Len() int { return len(c.rows) }
+
+func (c *Cache) evict() {
+	back := c.lru.Back()
+	if back == nil {
+		return
+	}
+	idx := back.Value.(int)
+	c.lru.Remove(back)
+	delete(c.rows, idx)
+	delete(c.pos, idx)
+}

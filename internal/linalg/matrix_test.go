@@ -1,0 +1,109 @@
+package linalg
+
+import "testing"
+
+func TestMatrixAtSet(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if got := m.At(1, 2); got != 5 {
+		t.Fatalf("At = %v, want 5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("zero value At = %v, want 0", got)
+	}
+}
+
+func TestMatrixOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestMatrixRowColViews(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(i*3+j))
+		}
+	}
+	row := m.Row(1)
+	if !row.Equal(Vector{3, 4, 5}, 0) {
+		t.Errorf("Row(1) = %v", row)
+	}
+	// Row is a view: mutations must be visible in the matrix.
+	row[0] = 42
+	if m.At(1, 0) != 42 {
+		t.Error("Row view mutation not visible in matrix")
+	}
+	col := m.Col(2)
+	if !col.Equal(Vector{2, 5}, 0) {
+		t.Errorf("Col(2) = %v", col)
+	}
+	// Col is a copy: mutations must not affect the matrix.
+	col[0] = -1
+	if m.At(0, 2) != 2 {
+		t.Error("Col copy mutation leaked into matrix")
+	}
+}
+
+func TestMatrixTranspose(t *testing.T) {
+	m := FromRows([]Vector{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Errorf("transpose values wrong: %+v", tr)
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := FromRows([]Vector{{1, 2}, {3, 4}})
+	got := m.MulVec(Vector{1, 1})
+	if !got.Equal(Vector{3, 7}, 1e-12) {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := FromRows([]Vector{{1, 2}, {3, 4}})
+	b := FromRows([]Vector{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := FromRows([]Vector{{19, 22}, {43, 50}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want.At(i, j) {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := FromRows([]Vector{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Errorf("FromRows(nil) shape = %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([]Vector{{1, 2}, {1}})
+}

@@ -1,0 +1,136 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform distribution over 4 outcomes: entropy = ln 4.
+	if got := Entropy([]float64{1, 1, 1, 1}); !almostEqual(got, math.Log(4), 1e-12) {
+		t.Errorf("uniform entropy = %v, want ln4", got)
+	}
+	// Deterministic distribution: entropy = 0.
+	if got := Entropy([]float64{1, 0, 0}); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("deterministic entropy = %v, want 0", got)
+	}
+	// Zero mass: defined as 0.
+	if got := Entropy([]float64{0, 0}); got != 0 {
+		t.Errorf("zero-mass entropy = %v, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.1, 0.2, 0.55, 0.9, -5, 99}, 2, 0, 1)
+	if h[0] != 3 || h[1] != 3 {
+		t.Errorf("Histogram = %v, want [3 3]", h)
+	}
+	empty := Histogram(nil, 3, 0, 1)
+	if len(empty) != 3 || empty[0] != 0 {
+		t.Errorf("empty Histogram = %v", empty)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 2, 4})
+	want := []float64{0.25, 0.25, 0.5}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	zero := Normalize([]float64{0, 0})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Errorf("Normalize of zeros = %v", zero)
+	}
+}
+
+func TestArgsort(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	desc := ArgsortDesc(xs)
+	if desc[0] != 0 || desc[1] != 2 || desc[2] != 1 {
+		t.Errorf("ArgsortDesc = %v", desc)
+	}
+	asc := ArgsortAsc(xs)
+	if asc[0] != 1 || asc[1] != 2 || asc[2] != 0 {
+		t.Errorf("ArgsortAsc = %v", asc)
+	}
+}
+
+func TestArgsortStableTies(t *testing.T) {
+	xs := []float64{1, 1, 1}
+	desc := ArgsortDesc(xs)
+	if desc[0] != 0 || desc[1] != 1 || desc[2] != 2 {
+		t.Errorf("ArgsortDesc ties not stable: %v", desc)
+	}
+}
+
+// Property: ArgsortDesc yields values in non-increasing order and is a
+// permutation of the indices.
+func TestPropertyArgsortDesc(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = clampF(v)
+		}
+		idx := ArgsortDesc(xs)
+		if len(idx) != len(xs) {
+			return false
+		}
+		seen := make(map[int]bool, len(idx))
+		for _, i := range idx {
+			if i < 0 || i >= len(xs) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return sort.SliceIsSorted(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] }) ||
+			isNonIncreasing(xs, idx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func isNonIncreasing(xs []float64, idx []int) bool {
+	for k := 1; k < len(idx); k++ {
+		if xs[idx[k-1]] < xs[idx[k]] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(mean, 5, 1e-12) || !almostEqual(std, 2, 1e-12) {
+		t.Errorf("MeanStd = (%v,%v), want (5,2)", mean, std)
+	}
+}

@@ -1,0 +1,259 @@
+// Package linalg provides the small dense linear-algebra and statistics
+// toolkit used throughout the lrfcsvm library: vectors, matrices, moments,
+// distance functions and a deterministic random-number helper.
+//
+// The package deliberately stays allocation-conscious: most operations have
+// an "into destination" variant so hot loops in the SVM solver and the
+// feature extractors can reuse buffers.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when two operands have incompatible sizes.
+var ErrDimensionMismatch = errors.New("linalg: dimension mismatch")
+
+// Vector is a dense column vector of float64 values.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Len returns the number of components of v.
+func (v Vector) Len() int { return len(v) }
+
+// Dot returns the inner product of v and w.
+// It panics if the lengths differ; dimension agreement is a programming
+// invariant in this library, not a runtime condition.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d != %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of v.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// NormL1 returns the L1 norm of v.
+func (v Vector) NormL1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// SquaredDistance returns ||v-w||^2.
+func (v Vector) SquaredDistance(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("linalg: SquaredDistance length mismatch %d != %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		d := x - w[i]
+		s += d * d
+	}
+	return s
+}
+
+// Distance returns the Euclidean distance between v and w.
+func (v Vector) Distance(w Vector) float64 { return math.Sqrt(v.SquaredDistance(w)) }
+
+// Add returns v+w as a new vector.
+func (v Vector) Add(w Vector) Vector {
+	out := make(Vector, len(v))
+	return out.AddInto(v, w)
+}
+
+// AddInto stores v+w into the receiver (which must have the right length)
+// and returns it.
+func (dst Vector) AddInto(v, w Vector) Vector {
+	if len(v) != len(w) || len(dst) != len(v) {
+		panic("linalg: AddInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] = v[i] + w[i]
+	}
+	return dst
+}
+
+// Sub returns v-w as a new vector.
+func (v Vector) Sub(w Vector) Vector {
+	if len(v) != len(w) {
+		panic("linalg: Sub length mismatch")
+	}
+	out := make(Vector, len(v))
+	for i := range out {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns a*v as a new vector.
+func (v Vector) Scale(a float64) Vector {
+	out := make(Vector, len(v))
+	for i, x := range v {
+		out[i] = a * x
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every component of v by a.
+func (v Vector) ScaleInPlace(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// AXPY performs v += a*w in place.
+func (v Vector) AXPY(a float64, w Vector) {
+	if len(v) != len(w) {
+		panic("linalg: AXPY length mismatch")
+	}
+	for i := range v {
+		v[i] += a * w[i]
+	}
+}
+
+// Fill sets every component of v to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Sum returns the sum of the components of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of the components of v.
+// The mean of an empty vector is 0.
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Sum() / float64(len(v))
+}
+
+// Variance returns the population variance of the components of v.
+func (v Vector) Variance() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v.Mean()
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// Std returns the population standard deviation of the components of v.
+func (v Vector) Std() float64 { return math.Sqrt(v.Variance()) }
+
+// Skewness returns the third standardized moment of v. When the standard
+// deviation is (numerically) zero the skewness is defined as 0.
+func (v Vector) Skewness() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v.Mean()
+	sd := v.Std()
+	if sd < 1e-12 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		d := (x - m) / sd
+		s += d * d * d
+	}
+	return s / float64(len(v))
+}
+
+// Min returns the minimum component and its index. It panics on an empty
+// vector.
+func (v Vector) Min() (float64, int) {
+	if len(v) == 0 {
+		panic("linalg: Min of empty vector")
+	}
+	best, idx := v[0], 0
+	for i, x := range v {
+		if x < best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}
+
+// Max returns the maximum component and its index. It panics on an empty
+// vector.
+func (v Vector) Max() (float64, int) {
+	if len(v) == 0 {
+		panic("linalg: Max of empty vector")
+	}
+	best, idx := v[0], 0
+	for i, x := range v {
+		if x > best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}
+
+// Equal reports whether v and w have the same length and all components are
+// within tol of each other.
+func (v Vector) Equal(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNaN reports whether any component of v is NaN or infinite.
+func (v Vector) HasNaN() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Concat returns the concatenation of the given vectors as a new vector.
+func Concat(vs ...Vector) Vector {
+	n := 0
+	for _, v := range vs {
+		n += len(v)
+	}
+	out := make(Vector, 0, n)
+	for _, v := range vs {
+		out = append(out, v...)
+	}
+	return out
+}

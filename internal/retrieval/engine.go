@@ -1,0 +1,263 @@
+// Package retrieval implements the interactive CBIR engine: the component a
+// user-facing system (the HTTP server, the examples) talks to. It owns the
+// indexed collection (visual descriptors and the accumulated user-feedback
+// log), answers initial queries by visual similarity, runs
+// relevance-feedback rounds with any of the library's schemes, and appends
+// committed feedback rounds back into the log — closing the long-term
+// learning loop the paper is about.
+package retrieval
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lrfcsvm/internal/core"
+	"lrfcsvm/internal/feedbacklog"
+	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/sparse"
+)
+
+// Result is one ranked image.
+type Result struct {
+	Image int
+	Score float64
+}
+
+// SchemeKind names the relevance-feedback schemes the engine can run.
+type SchemeKind string
+
+// Supported schemes.
+const (
+	SchemeEuclidean SchemeKind = "euclidean"
+	SchemeRFSVM     SchemeKind = "rf-svm"
+	SchemeLRF2SVMs  SchemeKind = "lrf-2svms"
+	SchemeLRFCSVM   SchemeKind = "lrf-csvm"
+)
+
+// Options configures the engine's learning components.
+type Options struct {
+	// SVM configures RF-SVM and LRF-2SVMs.
+	SVM core.SVMOptions
+	// CSVM configures LRF-CSVM; the zero value selects the library defaults.
+	CSVM core.CSVMParams
+}
+
+// Engine is the retrieval engine. It is safe for concurrent use.
+type Engine struct {
+	opts Options
+
+	mu         sync.RWMutex
+	visual     []linalg.Vector
+	log        *feedbacklog.Log
+	logVectors []*sparse.Vector // rebuilt lazily after log changes
+	logDirty   bool
+}
+
+// NewEngine builds an engine over a collection of visual descriptors and an
+// existing feedback log (which may be empty but must cover the same
+// collection).
+func NewEngine(visual []linalg.Vector, log *feedbacklog.Log, opts Options) (*Engine, error) {
+	if len(visual) == 0 {
+		return nil, fmt.Errorf("retrieval: empty collection")
+	}
+	if log == nil {
+		log = feedbacklog.NewLog(len(visual))
+	}
+	if log.NumImages() != len(visual) {
+		return nil, fmt.Errorf("retrieval: log covers %d images, collection has %d", log.NumImages(), len(visual))
+	}
+	e := &Engine{opts: opts, visual: visual, log: log, logDirty: true}
+	return e, nil
+}
+
+// NumImages returns the collection size.
+func (e *Engine) NumImages() int { return len(e.visual) }
+
+// NumLogSessions returns the number of feedback sessions accumulated so far.
+func (e *Engine) NumLogSessions() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.log.NumSessions()
+}
+
+// Log returns the engine's feedback log (shared, not a copy).
+func (e *Engine) Log() *feedbacklog.Log {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.log
+}
+
+// logColumns returns the per-image log vectors, rebuilding the cache if the
+// log changed since the last call.
+func (e *Engine) logColumns() []*sparse.Vector {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.logDirty {
+		e.logVectors = e.log.RelevanceVectors()
+		e.logDirty = false
+	}
+	return e.logVectors
+}
+
+// InitialQuery returns the top-k images by Euclidean visual similarity to
+// the query image — the result list a user judges in the first feedback
+// round.
+func (e *Engine) InitialQuery(query, k int) ([]Result, error) {
+	if query < 0 || query >= len(e.visual) {
+		return nil, fmt.Errorf("retrieval: query image %d out of range [0,%d)", query, len(e.visual))
+	}
+	scores := make([]float64, len(e.visual))
+	for i := range e.visual {
+		scores[i] = -e.visual[query].Distance(e.visual[i])
+	}
+	return topResults(scores, k), nil
+}
+
+// Session is one interactive relevance-feedback session for a single query.
+// It accumulates the user's judgments, can refine the ranking with any
+// scheme, and can finally be committed into the engine's long-term log.
+type Session struct {
+	engine *Engine
+	query  int
+
+	mu        sync.Mutex
+	judgments map[int]bool // image -> relevant?
+	committed bool
+}
+
+// StartSession begins a feedback session for the given query image.
+func (e *Engine) StartSession(query int) (*Session, error) {
+	if query < 0 || query >= len(e.visual) {
+		return nil, fmt.Errorf("retrieval: query image %d out of range [0,%d)", query, len(e.visual))
+	}
+	return &Session{engine: e, query: query, judgments: make(map[int]bool)}, nil
+}
+
+// Query returns the session's query image.
+func (s *Session) Query() int { return s.query }
+
+// Judge records the user's relevance judgment for an image.
+func (s *Session) Judge(image int, relevant bool) error {
+	if image < 0 || image >= s.engine.NumImages() {
+		return fmt.Errorf("retrieval: judged image %d out of range [0,%d)", image, s.engine.NumImages())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.committed {
+		return fmt.Errorf("retrieval: session already committed")
+	}
+	s.judgments[image] = relevant
+	return nil
+}
+
+// NumJudgments returns how many images have been judged in this session.
+func (s *Session) NumJudgments() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.judgments)
+}
+
+// Refine re-ranks the collection with the chosen scheme using the session's
+// judgments (and, for the log-based schemes, the engine's accumulated
+// feedback log) and returns the top-k results.
+func (s *Session) Refine(kind SchemeKind, k int) ([]Result, error) {
+	s.mu.Lock()
+	labeled := make([]core.LabeledExample, 0, len(s.judgments))
+	for img, rel := range s.judgments {
+		label := -1.0
+		if rel {
+			label = 1.0
+		}
+		labeled = append(labeled, core.LabeledExample{Index: img, Label: label})
+	}
+	s.mu.Unlock()
+	// Deterministic order of the labeled set regardless of map iteration.
+	sort.Slice(labeled, func(i, j int) bool { return labeled[i].Index < labeled[j].Index })
+
+	if len(labeled) == 0 && kind != SchemeEuclidean {
+		return nil, fmt.Errorf("retrieval: scheme %q needs at least one judgment", kind)
+	}
+
+	ctx := &core.QueryContext{
+		Visual:     s.engine.visual,
+		LogVectors: s.engine.logColumns(),
+		Query:      s.query,
+		Labeled:    labeled,
+	}
+	scheme, err := s.engine.scheme(kind)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := scheme.Rank(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return topResults(scores, k), nil
+}
+
+// Commit appends the session's judgments to the engine's long-term feedback
+// log as one log session. A session can only be committed once and must
+// contain at least one judgment.
+func (s *Session) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.committed {
+		return fmt.Errorf("retrieval: session already committed")
+	}
+	if len(s.judgments) == 0 {
+		return fmt.Errorf("retrieval: nothing to commit")
+	}
+	judgments := make(map[int]feedbacklog.Judgment, len(s.judgments))
+	for img, rel := range s.judgments {
+		if rel {
+			judgments[img] = feedbacklog.Relevant
+		} else {
+			judgments[img] = feedbacklog.Irrelevant
+		}
+	}
+	e := s.engine
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.log.AddSession(feedbacklog.Session{QueryImage: s.query, Judgments: judgments}); err != nil {
+		return err
+	}
+	e.logDirty = true
+	s.committed = true
+	return nil
+}
+
+// scheme instantiates the requested ranking scheme with the engine options.
+func (e *Engine) scheme(kind SchemeKind) (core.Scheme, error) {
+	switch kind {
+	case SchemeEuclidean:
+		return core.Euclidean{}, nil
+	case SchemeRFSVM:
+		return core.RFSVM{Options: e.opts.SVM}, nil
+	case SchemeLRF2SVMs:
+		return core.LRF2SVMs{Options: e.opts.SVM}, nil
+	case SchemeLRFCSVM:
+		return core.LRFCSVM{Params: e.opts.CSVM}, nil
+	default:
+		return nil, fmt.Errorf("retrieval: unknown scheme %q", kind)
+	}
+}
+
+// ParseScheme maps a user-supplied string to a SchemeKind.
+func ParseScheme(s string) (SchemeKind, error) {
+	switch SchemeKind(s) {
+	case SchemeEuclidean, SchemeRFSVM, SchemeLRF2SVMs, SchemeLRFCSVM:
+		return SchemeKind(s), nil
+	default:
+		return "", fmt.Errorf("retrieval: unknown scheme %q (want one of euclidean, rf-svm, lrf-2svms, lrf-csvm)", s)
+	}
+}
+
+func topResults(scores []float64, k int) []Result {
+	idx := core.TopK(scores, k)
+	out := make([]Result, len(idx))
+	for i, id := range idx {
+		out[i] = Result{Image: id, Score: scores[id]}
+	}
+	return out
+}

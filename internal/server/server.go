@@ -1,0 +1,289 @@
+// Package server exposes the retrieval engine over a small JSON HTTP API so
+// the CBIR system can be driven interactively: issue a query, judge results,
+// refine with any relevance-feedback scheme, and commit the round into the
+// long-term feedback log.
+//
+// Endpoints:
+//
+//	GET  /api/status                      -> collection and log statistics
+//	GET  /api/query?image=ID&k=K          -> initial (Euclidean) results
+//	POST /api/sessions                    -> start a feedback session
+//	POST /api/sessions/judge              -> record judgments
+//	POST /api/sessions/refine             -> re-rank with a scheme
+//	POST /api/sessions/commit             -> append the round to the log
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"lrfcsvm/internal/retrieval"
+)
+
+// Server wraps a retrieval engine with an HTTP API. Create one with New and
+// mount it via Handler.
+type Server struct {
+	engine *retrieval.Engine
+
+	mu       sync.Mutex
+	nextID   int
+	sessions map[int]*retrieval.Session
+}
+
+// New creates a server around an engine.
+func New(engine *retrieval.Engine) *Server {
+	return &Server{engine: engine, nextID: 1, sessions: make(map[int]*retrieval.Session)}
+}
+
+// Handler returns the HTTP handler with all API routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/status", s.handleStatus)
+	mux.HandleFunc("/api/query", s.handleQuery)
+	mux.HandleFunc("/api/sessions", s.handleStartSession)
+	mux.HandleFunc("/api/sessions/judge", s.handleJudge)
+	mux.HandleFunc("/api/sessions/refine", s.handleRefine)
+	mux.HandleFunc("/api/sessions/commit", s.handleCommit)
+	return mux
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors at this point cannot be reported to the client; the
+	// payloads are plain structs so they cannot fail to marshal.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// StatusResponse is the payload of GET /api/status.
+type StatusResponse struct {
+	Images      int `json:"images"`
+	LogSessions int `json:"log_sessions"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, StatusResponse{
+		Images:      s.engine.NumImages(),
+		LogSessions: s.engine.NumLogSessions(),
+	})
+}
+
+// ResultJSON is one ranked image in API responses.
+type ResultJSON struct {
+	Image int     `json:"image"`
+	Score float64 `json:"score"`
+}
+
+func toResultJSON(rs []retrieval.Result) []ResultJSON {
+	out := make([]ResultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = ResultJSON{Image: r.Image, Score: r.Score}
+	}
+	return out
+}
+
+// QueryResponse is the payload of GET /api/query.
+type QueryResponse struct {
+	Query   int          `json:"query"`
+	Results []ResultJSON `json:"results"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	image, err := strconv.Atoi(r.URL.Query().Get("image"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid image parameter: %v", err)
+		return
+	}
+	k := 20
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		if k, err = strconv.Atoi(ks); err != nil || k <= 0 {
+			writeError(w, http.StatusBadRequest, "invalid k parameter")
+			return
+		}
+	}
+	results, err := s.engine.InitialQuery(image, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Query: image, Results: toResultJSON(results)})
+}
+
+// StartSessionRequest is the payload of POST /api/sessions.
+type StartSessionRequest struct {
+	Query int `json:"query"`
+}
+
+// StartSessionResponse is the response of POST /api/sessions.
+type StartSessionResponse struct {
+	SessionID int `json:"session_id"`
+}
+
+func (s *Server) handleStartSession(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req StartSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	session, err := s.engine.StartSession(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.sessions[id] = session
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StartSessionResponse{SessionID: id})
+}
+
+func (s *Server) session(id int) (*retrieval.Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	session, ok := s.sessions[id]
+	return session, ok
+}
+
+// JudgeRequest is the payload of POST /api/sessions/judge.
+type JudgeRequest struct {
+	SessionID int `json:"session_id"`
+	Judgments []struct {
+		Image    int  `json:"image"`
+		Relevant bool `json:"relevant"`
+	} `json:"judgments"`
+}
+
+// JudgeResponse reports the total number of judgments in the session.
+type JudgeResponse struct {
+	Judgments int `json:"judgments"`
+}
+
+func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req JudgeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	session, ok := s.session(req.SessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %d", req.SessionID)
+		return
+	}
+	for _, j := range req.Judgments {
+		if err := session.Judge(j.Image, j.Relevant); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, JudgeResponse{Judgments: session.NumJudgments()})
+}
+
+// RefineRequest is the payload of POST /api/sessions/refine.
+type RefineRequest struct {
+	SessionID int    `json:"session_id"`
+	Scheme    string `json:"scheme"`
+	K         int    `json:"k"`
+}
+
+// RefineResponse carries the re-ranked results.
+type RefineResponse struct {
+	Scheme  string       `json:"scheme"`
+	Results []ResultJSON `json:"results"`
+}
+
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req RefineRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	session, ok := s.session(req.SessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %d", req.SessionID)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 20
+	}
+	if req.Scheme == "" {
+		req.Scheme = string(retrieval.SchemeLRFCSVM)
+	}
+	kind, err := retrieval.ParseScheme(req.Scheme)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	results, err := session.Refine(kind, req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RefineResponse{Scheme: string(kind), Results: toResultJSON(results)})
+}
+
+// CommitRequest is the payload of POST /api/sessions/commit.
+type CommitRequest struct {
+	SessionID int `json:"session_id"`
+}
+
+// CommitResponse reports the new log size.
+type CommitResponse struct {
+	LogSessions int `json:"log_sessions"`
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req CommitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	session, ok := s.session(req.SessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %d", req.SessionID)
+		return
+	}
+	if err := session.Commit(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.sessions, req.SessionID)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, CommitResponse{LogSessions: s.engine.NumLogSessions()})
+}

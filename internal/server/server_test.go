@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lrfcsvm/internal/feedbacklog"
+	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/retrieval"
+)
+
+func testServer(t *testing.T) (*httptest.Server, []int) {
+	t.Helper()
+	rng := linalg.NewRNG(5)
+	var visual []linalg.Vector
+	var labels []int
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 12; i++ {
+			visual = append(visual, linalg.Vector{float64(5 * c), 0}.Add(linalg.Vector{rng.Normal(0, 0.7), rng.Normal(0, 0.7)}))
+			labels = append(labels, c)
+		}
+	}
+	log, err := feedbacklog.Simulate(visual, labels, feedbacklog.SimulatorConfig{
+		Sessions: 15, ReturnedPerSession: 8, NoiseRate: 0, ExplorationFraction: 0.3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := retrieval.NewEngine(visual, log, retrieval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(engine).Handler())
+	t.Cleanup(srv.Close)
+	return srv, labels
+}
+
+func getJSON(t *testing.T, url string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url string, body interface{}, out interface{}) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	var status StatusResponse
+	resp := getJSON(t, srv.URL+"/api/status", &status)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status code %d", resp.StatusCode)
+	}
+	if status.Images != 36 || status.LogSessions != 15 {
+		t.Errorf("status = %+v", status)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	var q QueryResponse
+	resp := getJSON(t, srv.URL+"/api/query?image=3&k=5", &q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status code %d", resp.StatusCode)
+	}
+	if len(q.Results) != 5 || q.Results[0].Image != 3 {
+		t.Errorf("query response = %+v", q)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	if resp := getJSON(t, srv.URL+"/api/query?image=abc", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad image param: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/api/query?image=999", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range image: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/api/query?image=1&k=0", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad k: status %d", resp.StatusCode)
+	}
+}
+
+func TestFullFeedbackFlow(t *testing.T) {
+	srv, labels := testServer(t)
+
+	var start StartSessionResponse
+	resp := postJSON(t, srv.URL+"/api/sessions", StartSessionRequest{Query: 1}, &start)
+	if resp.StatusCode != http.StatusOK || start.SessionID == 0 {
+		t.Fatalf("start session: %d %+v", resp.StatusCode, start)
+	}
+
+	var q QueryResponse
+	getJSON(t, srv.URL+"/api/query?image=1&k=10", &q)
+	judge := JudgeRequest{SessionID: start.SessionID}
+	for _, r := range q.Results {
+		judge.Judgments = append(judge.Judgments, struct {
+			Image    int  `json:"image"`
+			Relevant bool `json:"relevant"`
+		}{Image: r.Image, Relevant: labels[r.Image] == labels[1]})
+	}
+	var judged JudgeResponse
+	resp = postJSON(t, srv.URL+"/api/sessions/judge", judge, &judged)
+	if resp.StatusCode != http.StatusOK || judged.Judgments != 10 {
+		t.Fatalf("judge: %d %+v", resp.StatusCode, judged)
+	}
+
+	for _, scheme := range []string{"euclidean", "rf-svm", "lrf-2svms", "lrf-csvm"} {
+		var refined RefineResponse
+		resp = postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: start.SessionID, Scheme: scheme, K: 8}, &refined)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("refine %s: status %d", scheme, resp.StatusCode)
+		}
+		if len(refined.Results) != 8 {
+			t.Errorf("refine %s: %d results", scheme, len(refined.Results))
+		}
+	}
+
+	var committed CommitResponse
+	resp = postJSON(t, srv.URL+"/api/sessions/commit", CommitRequest{SessionID: start.SessionID}, &committed)
+	if resp.StatusCode != http.StatusOK || committed.LogSessions != 16 {
+		t.Fatalf("commit: %d %+v", resp.StatusCode, committed)
+	}
+
+	// The session is gone after commit.
+	resp = postJSON(t, srv.URL+"/api/sessions/commit", CommitRequest{SessionID: start.SessionID}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("second commit: status %d", resp.StatusCode)
+	}
+}
+
+func TestRefineUnknownSessionAndScheme(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: 999, Scheme: "rf-svm"}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: status %d", resp.StatusCode)
+	}
+	var start StartSessionResponse
+	postJSON(t, srv.URL+"/api/sessions", StartSessionRequest{Query: 0}, &start)
+	resp = postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: start.SessionID, Scheme: "bogus"}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown scheme: status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _ := testServer(t)
+	resp := getJSON(t, srv.URL+"/api/sessions/judge", nil)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on judge: status %d", resp.StatusCode)
+	}
+	resp, err := http.Post(srv.URL+"/api/status", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST on status: status %d", resp.StatusCode)
+	}
+}
+
+func TestMalformedBodies(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Post(srv.URL+"/api/sessions", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed start: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,323 @@
+// Package storage provides the on-disk persistence layer of the CBIR
+// system: record-oriented binary stores for visual feature vectors and for
+// user-feedback log sessions, with CRC32-checksummed records so that partial
+// writes and corruption are detected at load time.
+//
+// The format is deliberately simple and append-friendly:
+//
+//	file   := header record*
+//	header := magic(4) version(u16) kind(u16)
+//	record := length(u32) crc32(u32) payload(length bytes)
+//
+// Payload encodings are fixed-width little-endian and documented on the
+// respective Write/Read functions.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"lrfcsvm/internal/feedbacklog"
+	"lrfcsvm/internal/linalg"
+)
+
+// File kinds.
+const (
+	KindFeatures uint16 = 1
+	KindLog      uint16 = 2
+)
+
+// formatVersion is bumped whenever the payload encoding changes.
+const formatVersion uint16 = 1
+
+var magic = [4]byte{'L', 'R', 'F', 'C'}
+
+// ErrCorrupt is returned when a record fails its checksum or the file
+// structure is malformed.
+var ErrCorrupt = errors.New("storage: corrupt file")
+
+func writeHeader(w io.Writer, kind uint16) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return fmt.Errorf("storage: write magic: %w", err)
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint16(buf[0:2], formatVersion)
+	binary.LittleEndian.PutUint16(buf[2:4], kind)
+	if _, err := w.Write(buf[:]); err != nil {
+		return fmt.Errorf("storage: write header: %w", err)
+	}
+	return nil
+}
+
+func readHeader(r io.Reader, wantKind uint16) error {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return fmt.Errorf("storage: read magic: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, m)
+	}
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return fmt.Errorf("storage: read header: %w", err)
+	}
+	version := binary.LittleEndian.Uint16(buf[0:2])
+	kind := binary.LittleEndian.Uint16(buf[2:4])
+	if version != formatVersion {
+		return fmt.Errorf("storage: unsupported format version %d", version)
+	}
+	if kind != wantKind {
+		return fmt.Errorf("storage: wrong file kind %d, want %d", kind, wantKind)
+	}
+	return nil
+}
+
+func writeRecord(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: write record header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("storage: write record payload: %w", err)
+	}
+	return nil
+}
+
+// readRecord returns the next record payload, or io.EOF cleanly at the end
+// of the file.
+func readRecord(r io.Reader, maxLen uint32) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: truncated record header", ErrCorrupt)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxLen {
+		return nil, fmt.Errorf("%w: record length %d exceeds limit %d", ErrCorrupt, length, maxLen)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated record payload", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// maxRecordLen bounds a single record (16 MiB) as a corruption guard.
+const maxRecordLen = 16 << 20
+
+// WriteFeatures writes feature vectors (one record per image, in image-index
+// order) together with their category labels to w.
+//
+// Payload encoding per record: label(i32) dim(u32) dim*float64.
+func WriteFeatures(w io.Writer, features []linalg.Vector, labels []int) error {
+	if len(features) != len(labels) {
+		return fmt.Errorf("storage: %d features but %d labels", len(features), len(labels))
+	}
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, KindFeatures); err != nil {
+		return err
+	}
+	for i, f := range features {
+		payload := make([]byte, 8+8*len(f))
+		binary.LittleEndian.PutUint32(payload[0:4], uint32(int32(labels[i])))
+		binary.LittleEndian.PutUint32(payload[4:8], uint32(len(f)))
+		for j, x := range f {
+			binary.LittleEndian.PutUint64(payload[8+8*j:], math.Float64bits(x))
+		}
+		if err := writeRecord(bw, payload); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFeatures reads a feature store written by WriteFeatures.
+func ReadFeatures(r io.Reader) ([]linalg.Vector, []int, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, KindFeatures); err != nil {
+		return nil, nil, err
+	}
+	var features []linalg.Vector
+	var labels []int
+	for {
+		payload, err := readRecord(br, maxRecordLen)
+		if err == io.EOF {
+			return features, labels, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(payload) < 8 {
+			return nil, nil, fmt.Errorf("%w: feature record too short", ErrCorrupt)
+		}
+		label := int(int32(binary.LittleEndian.Uint32(payload[0:4])))
+		dim := binary.LittleEndian.Uint32(payload[4:8])
+		if uint32(len(payload)) != 8+8*dim {
+			return nil, nil, fmt.Errorf("%w: feature record size mismatch", ErrCorrupt)
+		}
+		vec := make(linalg.Vector, dim)
+		for j := range vec {
+			vec[j] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8+8*j:]))
+		}
+		features = append(features, vec)
+		labels = append(labels, label)
+	}
+}
+
+// SaveFeatures writes a feature store to the named file.
+func SaveFeatures(path string, features []linalg.Vector, labels []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := WriteFeatures(f, features, labels); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFeatures reads a feature store from the named file.
+func LoadFeatures(path string) ([]linalg.Vector, []int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadFeatures(f)
+}
+
+// WriteLog writes a feedback log (one record per session) to w.
+//
+// Payload encoding per record: query(u32) category(i32) count(u32) then
+// count pairs of image(u32) judgment(i8, padded to i32).
+func WriteLog(w io.Writer, log *feedbacklog.Log) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, KindLog); err != nil {
+		return err
+	}
+	// First record: collection size, so the log can be reconstructed.
+	var sizeRec [4]byte
+	binary.LittleEndian.PutUint32(sizeRec[:], uint32(log.NumImages()))
+	if err := writeRecord(bw, sizeRec[:]); err != nil {
+		return err
+	}
+	for _, s := range log.Sessions() {
+		// Deterministic judgment order.
+		imgs := make([]int, 0, len(s.Judgments))
+		for img := range s.Judgments {
+			imgs = append(imgs, img)
+		}
+		sortInts(imgs)
+		payload := make([]byte, 12+8*len(imgs))
+		binary.LittleEndian.PutUint32(payload[0:4], uint32(s.QueryImage))
+		binary.LittleEndian.PutUint32(payload[4:8], uint32(int32(s.TargetCategory)))
+		binary.LittleEndian.PutUint32(payload[8:12], uint32(len(imgs)))
+		for i, img := range imgs {
+			binary.LittleEndian.PutUint32(payload[12+8*i:], uint32(img))
+			binary.LittleEndian.PutUint32(payload[16+8*i:], uint32(int32(s.Judgments[img])))
+		}
+		if err := writeRecord(bw, payload); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLog reads a feedback log written by WriteLog.
+func ReadLog(r io.Reader) (*feedbacklog.Log, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, KindLog); err != nil {
+		return nil, err
+	}
+	sizeRec, err := readRecord(br, maxRecordLen)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read log size record: %w", err)
+	}
+	if len(sizeRec) != 4 {
+		return nil, fmt.Errorf("%w: bad log size record", ErrCorrupt)
+	}
+	numImages := int(binary.LittleEndian.Uint32(sizeRec))
+	if numImages <= 0 {
+		return nil, fmt.Errorf("%w: non-positive collection size", ErrCorrupt)
+	}
+	log := feedbacklog.NewLog(numImages)
+	for {
+		payload, err := readRecord(br, maxRecordLen)
+		if err == io.EOF {
+			return log, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(payload) < 12 {
+			return nil, fmt.Errorf("%w: log record too short", ErrCorrupt)
+		}
+		query := int(binary.LittleEndian.Uint32(payload[0:4]))
+		category := int(int32(binary.LittleEndian.Uint32(payload[4:8])))
+		count := int(binary.LittleEndian.Uint32(payload[8:12]))
+		if len(payload) != 12+8*count {
+			return nil, fmt.Errorf("%w: log record size mismatch", ErrCorrupt)
+		}
+		judgments := make(map[int]feedbacklog.Judgment, count)
+		for i := 0; i < count; i++ {
+			img := int(binary.LittleEndian.Uint32(payload[12+8*i:]))
+			j := feedbacklog.Judgment(int32(binary.LittleEndian.Uint32(payload[16+8*i:])))
+			judgments[img] = j
+		}
+		if _, err := log.AddSession(feedbacklog.Session{
+			QueryImage:     query,
+			TargetCategory: category,
+			Judgments:      judgments,
+		}); err != nil {
+			return nil, fmt.Errorf("storage: rebuild log: %w", err)
+		}
+	}
+}
+
+// SaveLog writes a feedback log to the named file.
+func SaveLog(path string, log *feedbacklog.Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := WriteLog(f, log); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadLog reads a feedback log from the named file.
+func LoadLog(path string) (*feedbacklog.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadLog(f)
+}
+
+// sortInts is a tiny insertion sort; session judgment lists are ~20 entries,
+// not worth pulling in package sort's interface machinery here.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package svm
+
+import (
+	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/sparse"
+)
+
+// sparseFrom builds a sparse vector from dense component values, used by the
+// log-vector training tests.
+func sparseFrom(vals []float64) *sparse.Vector {
+	return sparse.FromDense(linalg.Vector(vals))
+}

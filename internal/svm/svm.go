@@ -1,0 +1,397 @@
+// Package svm implements a soft-margin support vector machine trained with
+// sequential minimal optimization (SMO), replacing the LIBSVM dependency the
+// paper's implementation modified.
+//
+// Two features are essential for the coupled SVM of the paper and drive the
+// design here:
+//
+//   - per-sample cost upper bounds C_i, so that the unlabeled transductive
+//     points can be weighted by rho*C while the labeled points keep cost C
+//     (Eq. 1 of the paper), and
+//   - access to the hinge slack xi_i of every training point after training,
+//     which the LRF-CSVM label-correction loop inspects to decide which
+//     unlabeled labels to flip.
+//
+// The solver follows the standard dual formulation
+//
+//	min_alpha  1/2 alpha' Q alpha - e' alpha
+//	s.t.       y' alpha = 0,  0 <= alpha_i <= C_i
+//
+// with Q_ij = y_i y_j K(x_i,x_j), using maximal-violating-pair working-set
+// selection and an LRU kernel row cache.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lrfcsvm/internal/kernel"
+)
+
+// Problem is a training set: points, binary labels in {-1,+1} and a
+// per-sample cost upper bound.
+type Problem struct {
+	Points []kernel.Point
+	Labels []float64
+	C      []float64
+}
+
+// NewProblem builds a problem with a uniform cost C for every sample.
+func NewProblem(points []kernel.Point, labels []float64, c float64) Problem {
+	cs := make([]float64, len(points))
+	for i := range cs {
+		cs[i] = c
+	}
+	return Problem{Points: points, Labels: labels, C: cs}
+}
+
+// Validate checks structural consistency of the problem.
+func (p Problem) Validate() error {
+	if len(p.Points) == 0 {
+		return errors.New("svm: empty training set")
+	}
+	if len(p.Labels) != len(p.Points) || len(p.C) != len(p.Points) {
+		return fmt.Errorf("svm: inconsistent problem sizes: %d points, %d labels, %d costs",
+			len(p.Points), len(p.Labels), len(p.C))
+	}
+	for i, y := range p.Labels {
+		if y != 1 && y != -1 {
+			return fmt.Errorf("svm: label %d is %v, want +1 or -1", i, y)
+		}
+	}
+	for i, c := range p.C {
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("svm: cost %d is %v, want a positive finite value", i, c)
+		}
+	}
+	return nil
+}
+
+// Config controls the solver.
+type Config struct {
+	// Kernel is the Mercer kernel; required.
+	Kernel kernel.Kernel
+	// Tolerance is the KKT violation tolerance for the stopping criterion.
+	// Zero selects 1e-3 (the LIBSVM default).
+	Tolerance float64
+	// MaxIterations bounds the number of SMO pair updates. Zero selects
+	// 100 * n + 10000, generous for the small problems relevance feedback
+	// produces.
+	MaxIterations int
+	// CacheRows bounds the kernel row cache. Zero caches every row.
+	CacheRows int
+}
+
+func (c Config) withDefaults(n int) Config {
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-3
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 100*n + 10000
+	}
+	return c
+}
+
+// Model is a trained SVM decision function
+// f(x) = sum_i coef_i K(sv_i, x) + Bias with coef_i = alpha_i * y_i.
+type Model struct {
+	SupportPoints []kernel.Point
+	Coefficients  []float64
+	Bias          float64
+	Kernel        kernel.Kernel
+
+	// Alphas holds the dual variable of every training point (not only the
+	// support vectors), in training order. The LRF-CSVM inspects these.
+	Alphas []float64
+	// Iterations is the number of SMO pair updates performed.
+	Iterations int
+	// Converged reports whether the KKT stopping criterion was met before
+	// the iteration budget ran out.
+	Converged bool
+}
+
+// Train solves the dual problem and returns the resulting model.
+func Train(p Problem, cfg Config) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Kernel == nil {
+		return nil, errors.New("svm: config must specify a kernel")
+	}
+	n := len(p.Points)
+	cfg = cfg.withDefaults(n)
+
+	// Degenerate one-class problems: the equality constraint forces
+	// alpha = 0, so the decision function is a constant. Return the class
+	// prior as the bias so that Predict still answers with the only
+	// observed label.
+	if oneClass, label := singleClass(p.Labels); oneClass {
+		return &Model{
+			Kernel:    cfg.Kernel,
+			Bias:      label,
+			Alphas:    make([]float64, n),
+			Converged: true,
+		}, nil
+	}
+
+	s := newSolver(p, cfg)
+	s.solve()
+
+	model := &Model{
+		Kernel:     cfg.Kernel,
+		Bias:       s.bias(),
+		Alphas:     append([]float64(nil), s.alpha...),
+		Iterations: s.iterations,
+		Converged:  s.converged,
+	}
+	for i := 0; i < n; i++ {
+		if s.alpha[i] > 0 {
+			model.SupportPoints = append(model.SupportPoints, p.Points[i])
+			model.Coefficients = append(model.Coefficients, s.alpha[i]*p.Labels[i])
+		}
+	}
+	return model, nil
+}
+
+func singleClass(labels []float64) (bool, float64) {
+	first := labels[0]
+	for _, y := range labels[1:] {
+		if y != first {
+			return false, 0
+		}
+	}
+	return true, first
+}
+
+// Decision evaluates the decision function f(x). Positive values indicate
+// the +1 class; the magnitude is the (unnormalized) distance to the
+// separating hyperplane used as a relevance score by the retrieval schemes.
+func (m *Model) Decision(x kernel.Point) float64 {
+	sum := m.Bias
+	for i, sv := range m.SupportPoints {
+		sum += m.Coefficients[i] * m.Kernel.Eval(sv, x)
+	}
+	return sum
+}
+
+// Predict returns the predicted label in {-1,+1}. Zero decision values are
+// mapped to +1.
+func (m *Model) Predict(x kernel.Point) float64 {
+	if m.Decision(x) < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Slack returns the hinge slack xi = max(0, 1 - y*f(x)) of a point with
+// respect to the trained decision boundary.
+func (m *Model) Slack(x kernel.Point, y float64) float64 {
+	v := 1 - y*m.Decision(x)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// NumSupportVectors returns the number of support vectors in the model.
+func (m *Model) NumSupportVectors() int { return len(m.SupportPoints) }
+
+// solver carries the SMO state.
+type solver struct {
+	p     Problem
+	cfg   Config
+	cache *kernel.Cache
+
+	alpha []float64
+	grad  []float64 // G_i = (Q alpha)_i - 1
+
+	iterations int
+	converged  bool
+}
+
+func newSolver(p Problem, cfg Config) *solver {
+	n := len(p.Points)
+	s := &solver{
+		p:     p,
+		cfg:   cfg,
+		cache: kernel.NewCache(cfg.Kernel, p.Points, cfg.CacheRows),
+		alpha: make([]float64, n),
+		grad:  make([]float64, n),
+	}
+	for i := range s.grad {
+		s.grad[i] = -1 // alpha = 0 => G = -e
+	}
+	return s
+}
+
+// q returns Q_ij = y_i y_j K_ij using the row cache.
+func (s *solver) q(i, j int) float64 {
+	return s.p.Labels[i] * s.p.Labels[j] * s.cache.Eval(i, j)
+}
+
+func (s *solver) inUp(i int) bool {
+	y, a := s.p.Labels[i], s.alpha[i]
+	return (y > 0 && a < s.p.C[i]) || (y < 0 && a > 0)
+}
+
+func (s *solver) inLow(i int) bool {
+	y, a := s.p.Labels[i], s.alpha[i]
+	return (y < 0 && a < s.p.C[i]) || (y > 0 && a > 0)
+}
+
+// selectPair returns the maximal violating pair and the current violation.
+func (s *solver) selectPair() (i, j int, violation float64) {
+	maxUp := math.Inf(-1)
+	minLow := math.Inf(1)
+	i, j = -1, -1
+	for t := range s.p.Points {
+		v := -s.p.Labels[t] * s.grad[t]
+		if s.inUp(t) && v > maxUp {
+			maxUp = v
+			i = t
+		}
+		if s.inLow(t) && v < minLow {
+			minLow = v
+			j = t
+		}
+	}
+	if i < 0 || j < 0 {
+		return -1, -1, 0
+	}
+	return i, j, maxUp - minLow
+}
+
+func (s *solver) solve() {
+	const tau = 1e-12
+	for s.iterations = 0; s.iterations < s.cfg.MaxIterations; s.iterations++ {
+		i, j, violation := s.selectPair()
+		if i < 0 || violation <= s.cfg.Tolerance {
+			s.converged = true
+			return
+		}
+		yi, yj := s.p.Labels[i], s.p.Labels[j]
+		ci, cj := s.p.C[i], s.p.C[j]
+		kii := s.cache.Eval(i, i)
+		kjj := s.cache.Eval(j, j)
+		kij := s.cache.Eval(i, j)
+		oldAi, oldAj := s.alpha[i], s.alpha[j]
+
+		if yi != yj {
+			// In terms of the signed matrix Q this is Q_ii+Q_jj+2Q_ij; with
+			// opposite labels Q_ij = -K_ij.
+			quad := kii + kjj - 2*kij
+			if quad <= 0 {
+				quad = tau
+			}
+			delta := (-s.grad[i] - s.grad[j]) / quad
+			diff := oldAi - oldAj
+			s.alpha[i] += delta
+			s.alpha[j] += delta
+			if diff > 0 {
+				if s.alpha[j] < 0 {
+					s.alpha[j] = 0
+					s.alpha[i] = diff
+				}
+			} else {
+				if s.alpha[i] < 0 {
+					s.alpha[i] = 0
+					s.alpha[j] = -diff
+				}
+			}
+			if diff > ci-cj {
+				if s.alpha[i] > ci {
+					s.alpha[i] = ci
+					s.alpha[j] = ci - diff
+				}
+			} else {
+				if s.alpha[j] > cj {
+					s.alpha[j] = cj
+					s.alpha[i] = cj + diff
+				}
+			}
+		} else {
+			quad := kii + kjj - 2*kij
+			if quad <= 0 {
+				quad = tau
+			}
+			delta := (s.grad[i] - s.grad[j]) / quad
+			sum := oldAi + oldAj
+			s.alpha[i] -= delta
+			s.alpha[j] += delta
+			if sum > ci {
+				if s.alpha[i] > ci {
+					s.alpha[i] = ci
+					s.alpha[j] = sum - ci
+				}
+			} else {
+				if s.alpha[j] < 0 {
+					s.alpha[j] = 0
+					s.alpha[i] = sum
+				}
+			}
+			if sum > cj {
+				if s.alpha[j] > cj {
+					s.alpha[j] = cj
+					s.alpha[i] = sum - cj
+				}
+			} else {
+				if s.alpha[i] < 0 {
+					s.alpha[i] = 0
+					s.alpha[j] = sum
+				}
+			}
+		}
+
+		dAi := s.alpha[i] - oldAi
+		dAj := s.alpha[j] - oldAj
+		if dAi == 0 && dAj == 0 {
+			// Numerically stuck pair; treat as converged to avoid spinning.
+			s.converged = true
+			return
+		}
+		rowI := s.cache.Row(i)
+		rowJ := s.cache.Row(j)
+		for t := range s.grad {
+			qti := s.p.Labels[t] * yi * rowI[t]
+			qtj := s.p.Labels[t] * yj * rowJ[t]
+			s.grad[t] += qti*dAi + qtj*dAj
+		}
+	}
+}
+
+// bias computes the intercept b of the decision function from the KKT
+// conditions: free support vectors satisfy y_i f(x_i) = 1 exactly.
+func (s *solver) bias() float64 {
+	var sum float64
+	var nFree int
+	ub := math.Inf(1)
+	lb := math.Inf(-1)
+	for i := range s.p.Points {
+		yG := s.p.Labels[i] * s.grad[i]
+		switch {
+		case s.alpha[i] >= s.p.C[i]:
+			if s.p.Labels[i] < 0 {
+				ub = math.Min(ub, yG)
+			} else {
+				lb = math.Max(lb, yG)
+			}
+		case s.alpha[i] <= 0:
+			if s.p.Labels[i] > 0 {
+				ub = math.Min(ub, yG)
+			} else {
+				lb = math.Max(lb, yG)
+			}
+		default:
+			sum += yG
+			nFree++
+		}
+	}
+	var rho float64
+	if nFree > 0 {
+		rho = sum / float64(nFree)
+	} else {
+		rho = (ub + lb) / 2
+	}
+	return -rho
+}
