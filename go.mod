@@ -1,0 +1,3 @@
+module lrfcsvm
+
+go 1.24

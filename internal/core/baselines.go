@@ -25,10 +25,10 @@ func (Euclidean) Rank(ctx *QueryContext) ([]float64, error) {
 	if ctx.Query < 0 || ctx.Query >= len(ctx.Visual) {
 		return nil, fmt.Errorf("core: query index %d out of range [0,%d)", ctx.Query, len(ctx.Visual))
 	}
-	q := ctx.Visual[ctx.Query]
+	dist := queryDistances(ctx, ctx.collectionBatch())
 	scores := make([]float64, ctx.NumImages())
-	for i, v := range ctx.Visual {
-		scores[i] = -q.Distance(v)
+	for i := range scores {
+		scores[i] = -dist[i]
 	}
 	return scores, nil
 }
@@ -61,9 +61,10 @@ const gammaSample = 64
 const visualGammaScale = 4
 
 // defaultVisualKernel estimates an RBF kernel for the collection's visual
-// descriptors.
-func defaultVisualKernel(ctx *QueryContext) kernel.Kernel {
-	return kernel.RBF{Gamma: visualGammaScale * kernel.EstimateRBFGamma(kernel.DensePoints(ctx.Visual), gammaSample)}
+// descriptors. The estimate is memoized per collection in the
+// CollectionBatch, since it depends only on the collection.
+func defaultVisualKernel(b *CollectionBatch) kernel.Kernel {
+	return b.defaultVisualKernel()
 }
 
 // defaultLogKernel returns the kernel used over user-log relevance vectors:
@@ -91,12 +92,12 @@ func LogRBFKernel(ctx *QueryContext) kernel.Kernel {
 	return kernel.RBF{Gamma: kernel.EstimateRBFGamma(pts, gammaSample)}
 }
 
-func (o SVMOptions) withDefaults(ctx *QueryContext) SVMOptions {
+func (o SVMOptions) withDefaults(ctx *QueryContext, b *CollectionBatch) SVMOptions {
 	if o.C <= 0 {
 		o.C = 1
 	}
 	if o.VisualKernel == nil {
-		o.VisualKernel = defaultVisualKernel(ctx)
+		o.VisualKernel = defaultVisualKernel(b)
 	}
 	if o.LogKernel == nil {
 		o.LogKernel = defaultLogKernel(ctx)
@@ -123,14 +124,6 @@ func trainModality(points []kernel.Point, labels []float64, c float64, k kernel.
 // LRF-CSVM, so scheme comparisons stay fair.
 const queryPriorWeight = 0.02
 
-// addQueryPrior adds the initial-similarity prior to scores in place.
-func addQueryPrior(scores []float64, ctx *QueryContext) {
-	q := ctx.Visual[ctx.Query]
-	for i := range scores {
-		scores[i] -= queryPriorWeight * q.Distance(ctx.Visual[i])
-	}
-}
-
 // RFSVM is the paper's regular relevance-feedback baseline: a single SVM
 // trained on the labeled visual descriptors of the current round; images are
 // ranked by the SVM decision value.
@@ -146,7 +139,8 @@ func (s RFSVM) Rank(ctx *QueryContext) ([]float64, error) {
 	if err := ctx.Validate(false); err != nil {
 		return nil, err
 	}
-	opts := s.Options.withDefaults(ctx)
+	batch := ctx.collectionBatch()
+	opts := s.Options.withDefaults(ctx, batch)
 	indices := make([]int, len(ctx.Labeled))
 	labels := make([]float64, len(ctx.Labeled))
 	for i, ex := range ctx.Labeled {
@@ -157,11 +151,8 @@ func (s RFSVM) Rank(ctx *QueryContext) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: RF-SVM training: %w", err)
 	}
-	scores := make([]float64, ctx.NumImages())
-	for i, v := range ctx.Visual {
-		scores[i] = model.Decision(kernel.Dense(v))
-	}
-	addQueryPrior(scores, ctx)
+	scores := rankVisual(ctx, batch, model)
+	addQueryPriorBatch(scores, ctx, batch)
 	return scores, nil
 }
 
@@ -181,7 +172,8 @@ func (s LRF2SVMs) Rank(ctx *QueryContext) ([]float64, error) {
 	if err := ctx.Validate(true); err != nil {
 		return nil, err
 	}
-	opts := s.Options.withDefaults(ctx)
+	batch := ctx.collectionBatch()
+	opts := s.Options.withDefaults(ctx, batch)
 	indices := make([]int, len(ctx.Labeled))
 	labels := make([]float64, len(ctx.Labeled))
 	for i, ex := range ctx.Labeled {
@@ -196,11 +188,7 @@ func (s LRF2SVMs) Rank(ctx *QueryContext) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: LRF-2SVMs log training: %w", err)
 	}
-	scores := make([]float64, ctx.NumImages())
-	for i := range scores {
-		scores[i] = visualModel.Decision(kernel.Dense(ctx.Visual[i])) +
-			logModel.Decision(kernel.NewSparse(ctx.LogVectors[i]))
-	}
-	addQueryPrior(scores, ctx)
+	scores := rankCoupled(ctx, batch, visualModel, logModel)
+	addQueryPriorBatch(scores, ctx, batch)
 	return scores, nil
 }

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"lrfcsvm/internal/kernel"
+	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/sparse"
+	"lrfcsvm/internal/svm"
+)
+
+// This file is the batched, data-parallel scoring path shared by every
+// retrieval scheme: the collection is stored flat (kernel.DenseSet), models
+// are evaluated row-wise through the batch kernel path, and the per-image
+// loop is sharded across Workers goroutines. Each score element is written
+// by exactly one worker with the same arithmetic as the scalar path, so
+// rankings are bit-for-bit independent of the worker count.
+
+// CollectionBatch caches collection-level precomputation shared by every
+// query against the same collection: the flat visual store with row norms,
+// the log vectors wrapped as kernel points, and the mean-distance estimate
+// of the default visual kernel. Build one per indexed collection (the
+// retrieval engine and eval experiments do) and attach it to each
+// QueryContext; schemes fall back to a transient one per Rank call when the
+// context carries none. All methods are safe for concurrent use.
+type CollectionBatch struct {
+	src []linalg.Vector // the collection the batch was built from
+	set *kernel.DenseSet
+
+	vkOnce sync.Once
+	vk     kernel.Kernel
+
+	logMu  sync.Mutex
+	logSrc []*sparse.Vector
+	logPts []kernel.Point
+
+	// distMu guards a one-entry cache of the query-to-collection distance
+	// row. Interactive sessions re-rank the same query across feedback
+	// rounds (and the prior is added to every SVM ranking), so the last
+	// query's distances are the ones asked for again.
+	distMu    sync.Mutex
+	distQuery int
+	dist      []float64
+}
+
+// NewCollectionBatch indexes the collection's visual descriptors into flat
+// storage. The descriptors are copied; later mutation of the input does not
+// reach the batch.
+func NewCollectionBatch(visual []linalg.Vector) *CollectionBatch {
+	return &CollectionBatch{src: visual, set: kernel.NewDenseSet(visual)}
+}
+
+// matches reports whether the batch was built from exactly this collection
+// slice. Length alone is not enough — a batch built over a different
+// same-size collection would silently score against stale descriptors — so
+// the identity of the source slice is compared too.
+func (b *CollectionBatch) matches(visual []linalg.Vector) bool {
+	if len(b.src) != len(visual) {
+		return false
+	}
+	return len(visual) == 0 || &b.src[0] == &visual[0]
+}
+
+// VisualSet returns the flat visual collection store.
+func (b *CollectionBatch) VisualSet() *kernel.DenseSet { return b.set }
+
+// defaultVisualKernel estimates (once) the default RBF kernel over the
+// collection's visual descriptors. The estimate depends only on the
+// collection, never on the query, so caching it across queries changes no
+// score.
+func (b *CollectionBatch) defaultVisualKernel() kernel.Kernel {
+	b.vkOnce.Do(func() {
+		b.vk = kernel.RBF{Gamma: visualGammaScale * kernel.EstimateRBFGamma(b.set.Points(), gammaSample)}
+	})
+	return b.vk
+}
+
+// logPoints wraps the per-image log vectors as kernel points, memoized per
+// log snapshot (the engine rebuilds the vectors when the log grows, which
+// invalidates the memo by identity).
+func (b *CollectionBatch) logPoints(vs []*sparse.Vector) []kernel.Point {
+	if len(vs) == 0 {
+		return nil
+	}
+	b.logMu.Lock()
+	defer b.logMu.Unlock()
+	if b.logSrc != nil && len(b.logSrc) == len(vs) && &b.logSrc[0] == &vs[0] {
+		return b.logPts
+	}
+	pts := kernel.SparsePoints(vs)
+	b.logSrc = vs
+	b.logPts = pts
+	return pts
+}
+
+// collectionBatch returns the context's attached CollectionBatch when it
+// matches the collection, or builds a transient one.
+func (ctx *QueryContext) collectionBatch() *CollectionBatch {
+	if ctx.Batch != nil && ctx.Batch.matches(ctx.Visual) {
+		return ctx.Batch
+	}
+	return NewCollectionBatch(ctx.Visual)
+}
+
+// workers resolves the context's worker count: <=0 selects GOMAXPROCS.
+func (ctx *QueryContext) workers() int {
+	if ctx.Workers > 0 {
+		return ctx.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// shard splits [0,n) into contiguous chunks and runs fn(lo,hi) on up to
+// workers goroutines, waiting for all of them. fn must only write state
+// owned by its own range.
+func shard(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 0 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// rankVisual scores every image of the collection under a visual-modality
+// model, sharded across the context's workers.
+func rankVisual(ctx *QueryContext, b *CollectionBatch, model *svm.Model) []float64 {
+	set := b.VisualSet()
+	n := set.Len()
+	scores := make([]float64, n)
+	shard(n, ctx.workers(), func(lo, hi int) {
+		model.DecisionSet(set.Slice(lo, hi), scores[lo:hi], nil)
+	})
+	return scores
+}
+
+// rankCoupled scores every image by the summed decision value of a visual
+// and a log model (the combined score of the two-modality schemes), sharded
+// across the context's workers.
+func rankCoupled(ctx *QueryContext, b *CollectionBatch, visualModel, logModel *svm.Model) []float64 {
+	set := b.VisualSet()
+	logPts := b.logPoints(ctx.LogVectors)
+	n := set.Len()
+	scores := make([]float64, n)
+	shard(n, ctx.workers(), func(lo, hi int) {
+		logScores := make([]float64, hi-lo)
+		visualModel.DecisionSet(set.Slice(lo, hi), scores[lo:hi], nil)
+		logModel.DecisionBatch(logPts[lo:hi], logScores, nil)
+		for i := lo; i < hi; i++ {
+			scores[i] += logScores[i-lo]
+		}
+	})
+	return scores
+}
+
+// queryDistances returns the Euclidean distances from the query image to
+// every image of the collection, computed through the sharded batch path and
+// cached per query (the last query's row is kept — feedback rounds re-rank
+// the same query). Callers must not mutate the returned slice. Distances use
+// the norm-expansion batch path (one matrix-vector product against the
+// precomputed row norms); EXPERIMENTS.md documents the O(1e-15) per-score
+// drift and the unchanged MAP metrics.
+func queryDistances(ctx *QueryContext, b *CollectionBatch) []float64 {
+	b.distMu.Lock()
+	if b.dist != nil && b.distQuery == ctx.Query {
+		dst := b.dist
+		b.distMu.Unlock()
+		return dst
+	}
+	b.distMu.Unlock()
+
+	set := b.VisualSet()
+	q := linalg.Vector(set.Point(ctx.Query))
+	dst := make([]float64, set.Len())
+	shard(set.Len(), ctx.workers(), func(lo, hi int) {
+		sub := set.Slice(lo, hi)
+		sub.Matrix().RowSquaredDistancesNormInto(dst[lo:hi], q, sub.Norms())
+		for i := lo; i < hi; i++ {
+			dst[i] = math.Sqrt(dst[i])
+		}
+	})
+
+	b.distMu.Lock()
+	b.distQuery = ctx.Query
+	b.dist = dst
+	b.distMu.Unlock()
+	return dst
+}
+
+// addQueryPriorBatch adds the initial-similarity prior to scores in place
+// through the batched, per-query-cached distance row; see queryPriorWeight
+// for the rationale.
+func addQueryPriorBatch(scores []float64, ctx *QueryContext, b *CollectionBatch) {
+	dist := queryDistances(ctx, b)
+	for i := range scores {
+		scores[i] -= queryPriorWeight * dist[i]
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"lrfcsvm/internal/linalg"
+)
+
+// TestShardCoversRange verifies the shard helper partitions exactly and
+// never overlaps, for worker counts around the collection size.
+func TestShardCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, workers := range []int{0, 1, 2, 3, 8, 200} {
+			seen := make([]int, n)
+			var mu sync.Mutex
+			shard(n, workers, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d workers=%d: element %d covered %d times", n, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSchemesWorkerCountInvariant verifies every scheme produces identical
+// scores for any worker count: each score element is written by exactly one
+// goroutine with the same arithmetic, so sharding must not change a single
+// bit. Running this under -race also exercises the sharded ranking path for
+// data races.
+func TestSchemesWorkerCountInvariant(t *testing.T) {
+	coll := makeCollection(t, 4, 12, 40, 0, 5)
+	schemes := []Scheme{
+		Euclidean{},
+		RFSVM{},
+		LRF2SVMs{},
+		LRFCSVM{},
+		LRFCSVMWithSelection{Strategy: SelectMaxMin},
+	}
+	for _, scheme := range schemes {
+		var serial []float64
+		for _, workers := range []int{1, 4, 9} {
+			ctx := coll.queryContext(3, 10)
+			ctx.Workers = workers
+			scores, err := scheme.Rank(ctx)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", scheme.Name(), workers, err)
+			}
+			if serial == nil {
+				serial = scores
+				continue
+			}
+			for i := range scores {
+				if scores[i] != serial[i] {
+					t.Fatalf("%s: score[%d] = %v with %d workers, %v serial", scheme.Name(), i, scores[i], workers, serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSharedCollectionBatchConcurrentRank exercises one CollectionBatch
+// shared by concurrent rankings (the engine's serving pattern) under the
+// race detector.
+func TestSharedCollectionBatchConcurrentRank(t *testing.T) {
+	coll := makeCollection(t, 3, 10, 30, 0, 9)
+	batch := NewCollectionBatch(coll.visual)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(query int) {
+			defer wg.Done()
+			ctx := coll.queryContext(query, 8)
+			ctx.Batch = batch
+			ctx.Workers = 2
+			if _, err := (LRF2SVMs{}).Rank(ctx); err != nil {
+				errs <- err
+			}
+		}(g % 5)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectionBatchReused verifies an attached batch with a matching
+// collection is used as-is, and a mismatched one is replaced by a transient
+// batch rather than producing wrong-sized rankings.
+func TestCollectionBatchReused(t *testing.T) {
+	coll := makeCollection(t, 3, 8, 20, 0, 13)
+	batch := NewCollectionBatch(coll.visual)
+	ctx := coll.queryContext(1, 6)
+	ctx.Batch = batch
+	if got := ctx.collectionBatch(); got != batch {
+		t.Error("matching batch should be reused")
+	}
+	other := NewCollectionBatch(coll.visual[:4])
+	ctx.Batch = other
+	if got := ctx.collectionBatch(); got == other {
+		t.Error("mismatched batch must not be reused")
+	}
+	// A different collection of the same size must be rejected too: scores
+	// would otherwise be computed against stale descriptors.
+	sameLen := NewCollectionBatch(append([]linalg.Vector(nil), coll.visual...))
+	ctx.Batch = sameLen
+	if got := ctx.collectionBatch(); got == sameLen {
+		t.Error("batch over a different same-length collection must not be reused")
+	}
+	scores, err := (Euclidean{}).Rank(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(coll.visual) {
+		t.Fatalf("scores len = %d, want %d", len(scores), len(coll.visual))
+	}
+}
+
+// TestTrainCoupledWarmStart verifies the opt-in warm-started alternating
+// optimization converges and stays close to the cold-started ranking.
+func TestTrainCoupledWarmStart(t *testing.T) {
+	coll := makeCollection(t, 4, 12, 40, 0, 21)
+	run := func(warm bool) []float64 {
+		params := DefaultCSVMParams()
+		params.Coupled.WarmStart = warm
+		ctx := coll.queryContext(2, 10)
+		scores, err := LRFCSVM{Params: params}.Rank(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scores
+	}
+	cold := run(false)
+	warm := run(true)
+	// Warm starting lands on a different solution within the solver
+	// tolerance; retrieval quality must stay equivalent at the top of the
+	// ranking.
+	pCold := coll.precisionAt(cold, 2, 10)
+	pWarm := coll.precisionAt(warm, 2, 10)
+	if diff := pCold - pWarm; diff > 0.2 || diff < -0.2 {
+		t.Errorf("warm start changed precision@10 from %v to %v", pCold, pWarm)
+	}
+}

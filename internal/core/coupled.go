@@ -44,6 +44,16 @@ type CoupledConfig struct {
 	// MaxCorrectionIters bounds the inner label-correction loop of each
 	// annealing step so that oscillating flips cannot spin forever.
 	MaxCorrectionIters int
+	// WarmStart seeds every retraining of the alternating optimization
+	// with the previous solution of the same modality whenever that
+	// solution is still feasible (the rho schedule only grows costs, so it
+	// is until a label correction invalidates it). This cuts SMO
+	// iterations substantially but lands on a slightly different
+	// approximate solution within the solver tolerance, so ranking results
+	// are no longer bit-identical to cold-started training (ablation MAPs
+	// move in the 4th decimal; see EXPERIMENTS.md). Off by default to keep
+	// results exactly reproducible.
+	WarmStart bool
 	// Solver tunes the underlying SMO solver.
 	Solver svm.Config
 }
@@ -166,37 +176,61 @@ func TrainCoupled(modalities []Modality, labels []float64, initialUnlabeled []fl
 		return result, nil
 	}
 
+	// The alternating optimization retrains every modality many times —
+	// once per annealing step times once per label-correction pass — but
+	// always over the same point set: only the labels and costs change.
+	// Kernel values depend on neither, so each modality gets one shared,
+	// read-through kernel row cache that every retraining reuses, and the
+	// per-problem point/label/cost buffers are built once and patched in
+	// place. With cfg.WarmStart, each training also seeds the solver with
+	// the previous solution of its modality whenever that solution is
+	// still feasible (costs only ever grow along the rho schedule; label
+	// flips invalidate the warm point, so it is dropped after a
+	// correction).
+	points := make([][]kernel.Point, len(modalities))
+	ys := make([]float64, nl+nu)
+	costs := make([][]float64, len(modalities))
+	warm := make([][]float64, len(modalities))
+	copy(ys[:nl], labels)
+	for m, mod := range modalities {
+		points[m] = make([]kernel.Point, 0, nl+nu)
+		points[m] = append(points[m], mod.Labeled...)
+		points[m] = append(points[m], mod.Unlabeled...)
+		costs[m] = make([]float64, nl+nu)
+		for i := 0; i < nl; i++ {
+			costs[m][i] = mod.C
+		}
+	}
+	caches := make([]*kernel.Cache, len(modalities))
+	for m, mod := range modalities {
+		caches[m] = kernel.NewCache(mod.Kernel, points[m], cfg.Solver.CacheRows)
+	}
+
 	// trainAll trains every modality on labeled + unlabeled points with the
 	// current Y' and per-sample costs (C for labeled, rho*C for unlabeled)
 	// and returns, per modality, the decision value of every unlabeled point.
 	trainAll := func(rho float64) ([][]float64, error) {
 		decisions := make([][]float64, len(modalities))
+		copy(ys[nl:], result.UnlabeledLabels)
 		for m, mod := range modalities {
-			points := make([]kernel.Point, 0, nl+nu)
-			points = append(points, mod.Labeled...)
-			points = append(points, mod.Unlabeled...)
-			ys := make([]float64, 0, nl+nu)
-			ys = append(ys, labels...)
-			ys = append(ys, result.UnlabeledLabels...)
-			costs := make([]float64, nl+nu)
-			for i := 0; i < nl; i++ {
-				costs[i] = mod.C
-			}
 			for i := 0; i < nu; i++ {
-				costs[nl+i] = rho * mod.C
+				costs[m][nl+i] = rho * mod.C
 			}
 			cfgSolver := cfg.Solver
 			cfgSolver.Kernel = mod.Kernel
-			model, err := svm.Train(svm.Problem{Points: points, Labels: ys, C: costs}, cfgSolver)
+			cfgSolver.SharedCache = caches[m]
+			if cfg.WarmStart {
+				cfgSolver.WarmAlpha = warm[m]
+			}
+			model, err := svm.Train(svm.Problem{Points: points[m], Labels: ys, C: costs[m]}, cfgSolver)
 			if err != nil {
 				return nil, fmt.Errorf("core: modality %q: %w", mod.Name, err)
 			}
 			result.Models[m] = model
 			result.Retrainings++
+			warm[m] = model.Alphas
 			dec := make([]float64, nu)
-			for i := 0; i < nu; i++ {
-				dec[i] = model.Decision(mod.Unlabeled[i])
-			}
+			model.DecisionBatch(mod.Unlabeled, dec, nil)
 			decisions[m] = dec
 		}
 		return decisions, nil
@@ -223,6 +257,14 @@ func TrainCoupled(modalities []Modality, labels []float64, initialUnlabeled []fl
 			}
 		}
 		result.Flips += changed
+		if changed > 0 {
+			// A flipped label changes the sign structure of the dual
+			// problem; the previous alphas are no longer a feasible warm
+			// start, so the next training cold-starts.
+			for m := range warm {
+				warm[m] = nil
+			}
+		}
 		return changed
 	}
 

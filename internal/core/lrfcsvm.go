@@ -42,7 +42,7 @@ func DefaultCSVMParams() CSVMParams {
 	return p
 }
 
-func (p CSVMParams) withDefaults(ctx *QueryContext) CSVMParams {
+func (p CSVMParams) withDefaults(ctx *QueryContext, b *CollectionBatch) CSVMParams {
 	d := DefaultCSVMParams()
 	if p.Cw <= 0 {
 		p.Cw = d.Cw
@@ -55,7 +55,7 @@ func (p CSVMParams) withDefaults(ctx *QueryContext) CSVMParams {
 	}
 	p.Coupled = p.Coupled.withDefaults()
 	if p.VisualKernel == nil {
-		p.VisualKernel = defaultVisualKernel(ctx)
+		p.VisualKernel = defaultVisualKernel(b)
 	}
 	if p.LogKernel == nil {
 		p.LogKernel = defaultLogKernel(ctx)
@@ -102,7 +102,8 @@ func (s LRFCSVM) RankDetailed(ctx *QueryContext) (*CSVMResult, error) {
 	if err := ctx.Validate(true); err != nil {
 		return nil, err
 	}
-	p := s.Params.withDefaults(ctx)
+	batch := ctx.collectionBatch()
+	p := s.Params.withDefaults(ctx, batch)
 
 	labeledIdx := make([]int, len(ctx.Labeled))
 	labels := make([]float64, len(ctx.Labeled))
@@ -130,11 +131,9 @@ func (s LRFCSVM) RankDetailed(ctx *QueryContext) (*CSVMResult, error) {
 
 	n := ctx.NumImages()
 	labeledSet := ctx.labeledSet()
-	combined := make([]float64, n)
+	combined := rankCoupled(ctx, batch, visualInit, logInit)
 	candidates := make([]int, 0, n)
 	for i := 0; i < n; i++ {
-		combined[i] = visualInit.Decision(kernel.Dense(ctx.Visual[i])) +
-			logInit.Decision(kernel.NewSparse(ctx.LogVectors[i]))
 		if !labeledSet[i] {
 			candidates = append(candidates, i)
 		}
@@ -166,13 +165,8 @@ func (s LRFCSVM) RankDetailed(ctx *QueryContext) (*CSVMResult, error) {
 
 	// Step 3 — retrieve by the coupled decision value (with the same
 	// initial-similarity tie-break prior as the other SVM schemes).
-	scores := make([]float64, n)
-	visualModel, logModel := coupled.Models[0], coupled.Models[1]
-	for i := 0; i < n; i++ {
-		scores[i] = visualModel.Decision(kernel.Dense(ctx.Visual[i])) +
-			logModel.Decision(kernel.NewSparse(ctx.LogVectors[i]))
-	}
-	addQueryPrior(scores, ctx)
+	scores := rankCoupled(ctx, batch, coupled.Models[0], coupled.Models[1])
+	addQueryPriorBatch(scores, ctx, batch)
 	return &CSVMResult{
 		Scores:          scores,
 		Unlabeled:       unlabeledIdx,
@@ -403,7 +397,8 @@ func (s LRFCSVMWithSelection) Rank(ctx *QueryContext) ([]float64, error) {
 	if err := ctx.Validate(true); err != nil {
 		return nil, err
 	}
-	p := s.Params.withDefaults(ctx)
+	batch := ctx.collectionBatch()
+	p := s.Params.withDefaults(ctx, batch)
 
 	labeledIdx := make([]int, len(ctx.Labeled))
 	labels := make([]float64, len(ctx.Labeled))
@@ -419,13 +414,10 @@ func (s LRFCSVMWithSelection) Rank(ctx *QueryContext) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := ctx.NumImages()
 	labeledSet := ctx.labeledSet()
-	combined := make([]float64, n)
-	candidates := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		combined[i] = visualInit.Decision(kernel.Dense(ctx.Visual[i])) +
-			logInit.Decision(kernel.NewSparse(ctx.LogVectors[i]))
+	combined := rankCoupled(ctx, batch, visualInit, logInit)
+	candidates := make([]int, 0, ctx.NumImages())
+	for i := 0; i < ctx.NumImages(); i++ {
 		if !labeledSet[i] {
 			candidates = append(candidates, i)
 		}
@@ -450,12 +442,8 @@ func (s LRFCSVMWithSelection) Rank(ctx *QueryContext) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	scores := make([]float64, n)
-	for i := 0; i < n; i++ {
-		scores[i] = coupled.Models[0].Decision(kernel.Dense(ctx.Visual[i])) +
-			coupled.Models[1].Decision(kernel.NewSparse(ctx.LogVectors[i]))
-	}
-	addQueryPrior(scores, ctx)
+	scores := rankCoupled(ctx, batch, coupled.Models[0], coupled.Models[1])
+	addQueryPriorBatch(scores, ctx, batch)
 	return scores, nil
 }
 

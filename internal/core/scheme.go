@@ -40,6 +40,14 @@ type QueryContext struct {
 	Query int
 	// Labeled is the set S_l of images judged in the current feedback round.
 	Labeled []LabeledExample
+	// Workers bounds the goroutines used to score the collection; <=0
+	// selects GOMAXPROCS, 1 forces the serial path. Scores are identical
+	// for any worker count.
+	Workers int
+	// Batch optionally carries collection-level precomputation (flat
+	// visual storage, kernel estimates) shared across the queries hitting
+	// one collection. Nil makes each Rank call precompute transiently.
+	Batch *CollectionBatch
 }
 
 // Validate checks structural consistency of the context.

@@ -121,6 +121,10 @@ type Experiment struct {
 	LogVectors []*sparse.Vector
 	Labels     []int
 	LogStats   feedbacklog.Stats
+
+	// batch is the collection-level precomputation shared by every query
+	// context the experiment hands out.
+	batch *core.CollectionBatch
 }
 
 // Prepare generates the dataset, extracts and normalizes the visual
@@ -149,6 +153,7 @@ func Prepare(cfg Config) (*Experiment, error) {
 		LogVectors: log.RelevanceVectors(),
 		Labels:     labels,
 		LogStats:   log.Stats(),
+		batch:      core.NewCollectionBatch(visual),
 	}, nil
 }
 
@@ -190,6 +195,8 @@ func (e *Experiment) QueryContext(query int) *core.QueryContext {
 		LogVectors: e.LogVectors,
 		Query:      query,
 		Labeled:    labeled,
+		Workers:    e.Config.Workers,
+		Batch:      e.batch,
 	}
 }
 
@@ -250,6 +257,12 @@ func (e *Experiment) RunScheme(scheme core.Scheme, queries []int) (SchemeResult,
 			defer wg.Done()
 			for q := range work {
 				ctx := e.QueryContext(q)
+				if workers > 1 {
+					// Query-level parallelism already saturates the
+					// workers budget; keep each ranking serial instead
+					// of multiplying the two levels.
+					ctx.Workers = 1
+				}
 				scores, err := scheme.Rank(ctx)
 				mu.Lock()
 				if err != nil {

@@ -1,0 +1,214 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/sparse"
+)
+
+const batchTol = 1e-12
+
+func batchDensePoints(n, dim int, seed uint64) ([]linalg.Vector, []Point) {
+	rng := linalg.NewRNG(seed)
+	vs := make([]linalg.Vector, n)
+	for i := range vs {
+		v := make(linalg.Vector, dim)
+		for j := range v {
+			v[j] = rng.Range(-2, 2)
+		}
+		vs[i] = v
+	}
+	return vs, DensePoints(vs)
+}
+
+func batchSparsePoints(n, dim int, seed uint64) []Point {
+	rng := linalg.NewRNG(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		v := sparse.New(dim)
+		for j := 0; j < dim; j++ {
+			if rng.Float64() < 0.3 {
+				v.Set(j, rng.Range(-1, 1))
+			}
+		}
+		pts[i] = NewSparse(v)
+	}
+	return pts
+}
+
+func batchKernels() []Kernel {
+	return []Kernel{
+		Linear{},
+		RBF{Gamma: 0.37},
+		Polynomial{Degree: 3, Gamma: 0.5, Coef0: 1},
+		Sigmoid{Gamma: 0.2, Coef0: 0.1},
+	}
+}
+
+// TestEvalBatchMatchesScalar pins every kernel's batched point path to the
+// scalar Eval on dense and sparse points.
+func TestEvalBatchMatchesScalar(t *testing.T) {
+	_, dense := batchDensePoints(13, 7, 1)
+	sparsePts := batchSparsePoints(13, 9, 2)
+	for _, k := range batchKernels() {
+		for name, pts := range map[string][]Point{"dense": dense, "sparse": sparsePts} {
+			dst := make([]float64, len(pts))
+			EvalBatch(k, pts[0], pts, dst)
+			for j, y := range pts {
+				want := k.Eval(pts[0], y)
+				if math.Abs(dst[j]-want) > batchTol {
+					t.Errorf("%s %s: EvalBatch[%d] = %v, want %v", k.Name(), name, j, dst[j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalSetMatchesScalar pins every kernel's DenseSet path (including the
+// RBF norm expansion) to the scalar Eval within 1e-12.
+func TestEvalSetMatchesScalar(t *testing.T) {
+	vs, pts := batchDensePoints(17, 6, 3)
+	set := NewDenseSet(vs)
+	for _, k := range batchKernels() {
+		dst := make([]float64, set.Len())
+		EvalSet(k, pts[2], set, dst)
+		for j, y := range pts {
+			want := k.Eval(pts[2], y)
+			if math.Abs(dst[j]-want) > batchTol {
+				t.Errorf("%s: EvalSet[%d] = %v, want %v", k.Name(), j, dst[j], want)
+			}
+		}
+	}
+}
+
+// TestRBFEvalSetExactBitIdentical verifies the direct-subtraction variant
+// reproduces the scalar arithmetic bit for bit.
+func TestRBFEvalSetExactBitIdentical(t *testing.T) {
+	vs, pts := batchDensePoints(11, 5, 4)
+	set := NewDenseSet(vs)
+	k := RBF{Gamma: 0.8}
+	dst := make([]float64, set.Len())
+	k.EvalSetExact(linalg.Vector(pts[1].(Dense)), set, dst)
+	for j, y := range pts {
+		if want := k.Eval(pts[1], y); dst[j] != want {
+			t.Errorf("EvalSetExact[%d] = %v, want exactly %v", j, dst[j], want)
+		}
+	}
+}
+
+// TestGramSetMatchesGram pins the batched Gram construction to the scalar
+// one.
+func TestGramSetMatchesGram(t *testing.T) {
+	vs, pts := batchDensePoints(9, 4, 5)
+	set := NewDenseSet(vs)
+	for _, k := range batchKernels() {
+		want := Gram(k, pts)
+		got := GramSet(k, set)
+		for i := 0; i < want.Rows; i++ {
+			for j := 0; j < want.Cols; j++ {
+				if math.Abs(got.At(i, j)-want.At(i, j)) > batchTol {
+					t.Errorf("%s: GramSet(%d,%d) = %v, want %v", k.Name(), i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestAccumulateSetMatchesPerSVAccumulation pins the fused pair-blocked RBF
+// scoring loop to the naive per-support-vector accumulation.
+func TestAccumulateSetMatchesPerSVAccumulation(t *testing.T) {
+	for _, nsv := range []int{1, 2, 5, 8} {
+		svVecs, svPts := batchDensePoints(nsv, 6, uint64(10+nsv))
+		xsVecs, xsPts := batchDensePoints(21, 6, uint64(20+nsv))
+		svs := NewDenseSet(svVecs)
+		xs := NewDenseSet(xsVecs)
+		k := RBF{Gamma: 0.45}
+		coefs := make([]float64, nsv)
+		for i := range coefs {
+			coefs[i] = float64(i%3) - 1.2
+		}
+		got := make([]float64, xs.Len())
+		k.AccumulateSet(coefs, svs, xs, got)
+		for j, x := range xsPts {
+			var want float64
+			for tSv, sv := range svPts {
+				want += coefs[tSv] * k.Eval(sv, x)
+			}
+			if math.Abs(got[j]-want) > batchTol {
+				t.Errorf("nsv=%d: AccumulateSet[%d] = %v, want %v", nsv, j, got[j], want)
+			}
+		}
+	}
+}
+
+// TestDenseSetSlice verifies slices view the parent storage consistently.
+func TestDenseSetSlice(t *testing.T) {
+	vs, _ := batchDensePoints(10, 3, 6)
+	set := NewDenseSet(vs)
+	sub := set.Slice(4, 8)
+	if sub.Len() != 4 {
+		t.Fatalf("slice len = %d, want 4", sub.Len())
+	}
+	for i := 0; i < sub.Len(); i++ {
+		want := linalg.Vector(set.Point(4 + i))
+		got := linalg.Vector(sub.Point(i))
+		if !got.Equal(want, 0) {
+			t.Errorf("slice point %d = %v, want %v", i, got, want)
+		}
+		if sub.Norms()[i] != set.Norms()[4+i] {
+			t.Errorf("slice norm %d = %v, want %v", i, sub.Norms()[i], set.Norms()[4+i])
+		}
+	}
+}
+
+// TestFastExpAccuracy bounds the fast paired exponential against math.Exp
+// over the argument range the RBF scoring path produces, and checks the
+// extreme ranges delegate to math.Exp exactly.
+func TestFastExpAccuracy(t *testing.T) {
+	rng := linalg.NewRNG(7)
+	for i := 0; i < 20000; i++ {
+		x := rng.Range(-120, 5)
+		want := math.Exp(x)
+		got := expOne(x)
+		if relErr(got, want) > 5e-15 {
+			t.Fatalf("expOne(%v) = %v, want %v", x, got, want)
+		}
+		a, b := x, rng.Range(-120, 5)
+		ga, gb := exp2(a, b)
+		if relErr(ga, math.Exp(a)) > 5e-15 || relErr(gb, math.Exp(b)) > 5e-15 {
+			t.Fatalf("exp2(%v,%v) = (%v,%v)", a, b, ga, gb)
+		}
+	}
+	for _, x := range []float64{-1e6, -750, 710, 1e6, math.Inf(-1), math.Inf(1), math.NaN()} {
+		got := expOne(x)
+		want := math.Exp(x)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("expOne(%v) = %v, want math.Exp's %v", x, got, want)
+		}
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestPowiMatchesPow pins integer exponentiation by squaring to math.Pow.
+func TestPowiMatchesPow(t *testing.T) {
+	for deg := 0; deg <= 12; deg++ {
+		for _, base := range []float64{-2.5, -1, -0.3, 0, 0.7, 1, 1.9, 3.14} {
+			want := math.Pow(base, float64(deg))
+			got := powi(base, deg)
+			if relErr(got, want) > 1e-12 {
+				t.Errorf("powi(%v,%d) = %v, want %v", base, deg, got, want)
+			}
+		}
+	}
+	if got := powi(2, -2); got != 0.25 {
+		t.Errorf("powi(2,-2) = %v, want 0.25", got)
+	}
+}

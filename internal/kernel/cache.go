@@ -7,17 +7,30 @@ import "container/list"
 // working pairs; caching rows keeps training cost close to linear in the
 // number of iterations for the small problems relevance feedback solves.
 //
-// The cache stores whole rows keyed by point index and evicts the least
-// recently used rows beyond its capacity. It is not safe for concurrent use;
-// each solver owns its own cache.
+// Kernel values depend only on the points — never on labels or costs — so a
+// cache can outlive a single training run: the coupled SVM's annealing loop
+// shares one cache per modality across all its retrainings (see
+// svm.Config.SharedCache).
+//
+// When the capacity covers every point the cache stores rows in a
+// direct-indexed table with no eviction bookkeeping; otherwise it evicts the
+// least recently used rows beyond its capacity. It is not safe for
+// concurrent use; callers sharing a cache must use it sequentially.
 type Cache struct {
 	kernel   Kernel
 	points   []Point
 	capacity int
 
-	rows         map[int][]float64
-	lru          *list.List // front = most recently used
-	pos          map[int]*list.Element
+	// denseRows is the direct-indexed store used when capacity covers
+	// every point (the common case); nil entries are not yet computed.
+	denseRows [][]float64
+	denseLen  int
+
+	// LRU bookkeeping, used only when capacity < len(points).
+	rows map[int][]float64
+	lru  *list.List // front = most recently used
+	pos  map[int]*list.Element
+
 	hits, misses int
 }
 
@@ -30,29 +43,42 @@ func NewCache(k Kernel, points []Point, capacity int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{
+	c := &Cache{
 		kernel:   k,
 		points:   points,
 		capacity: capacity,
-		rows:     make(map[int][]float64),
-		lru:      list.New(),
-		pos:      make(map[int]*list.Element),
 	}
+	if capacity >= len(points) {
+		c.denseRows = make([][]float64, len(points))
+	} else {
+		c.rows = make(map[int][]float64)
+		c.lru = list.New()
+		c.pos = make(map[int]*list.Element)
+	}
+	return c
 }
 
 // Row returns the kernel row K(points[i], points[j]) for all j, computing
 // and caching it on first use.
 func (c *Cache) Row(i int) []float64 {
+	if c.denseRows != nil {
+		if row := c.denseRows[i]; row != nil {
+			c.hits++
+			return row
+		}
+		c.misses++
+		row := c.computeRow(i)
+		c.denseRows[i] = row
+		c.denseLen++
+		return row
+	}
 	if row, ok := c.rows[i]; ok {
 		c.hits++
 		c.lru.MoveToFront(c.pos[i])
 		return row
 	}
 	c.misses++
-	row := make([]float64, len(c.points))
-	for j := range c.points {
-		row[j] = c.kernel.Eval(c.points[i], c.points[j])
-	}
+	row := c.computeRow(i)
 	if len(c.rows) >= c.capacity {
 		c.evict()
 	}
@@ -61,14 +87,57 @@ func (c *Cache) Row(i int) []float64 {
 	return row
 }
 
-// Eval returns K(points[i], points[j]) through the row cache.
-func (c *Cache) Eval(i, j int) float64 { return c.Row(i)[j] }
+func (c *Cache) computeRow(i int) []float64 {
+	row := make([]float64, len(c.points))
+	EvalBatch(c.kernel, c.points[i], c.points, row)
+	return row
+}
+
+// Eval returns K(points[i], points[j]). A single-pair probe must not
+// materialize (and potentially evict) a whole row: it answers from an
+// already-cached row i or j (kernels are symmetric) and otherwise computes
+// just the one entry, leaving the row cache untouched. Diagonal probes like
+// K(i,i)/K(j,j) in the SMO inner loop therefore never displace useful rows.
+func (c *Cache) Eval(i, j int) float64 {
+	if c.denseRows != nil {
+		if row := c.denseRows[i]; row != nil {
+			c.hits++
+			return row[j]
+		}
+		if row := c.denseRows[j]; row != nil {
+			c.hits++
+			return row[i]
+		}
+		c.misses++
+		return c.kernel.Eval(c.points[i], c.points[j])
+	}
+	if row, ok := c.rows[i]; ok {
+		c.hits++
+		c.lru.MoveToFront(c.pos[i])
+		return row[j]
+	}
+	if row, ok := c.rows[j]; ok {
+		c.hits++
+		c.lru.MoveToFront(c.pos[j])
+		return row[i]
+	}
+	c.misses++
+	return c.kernel.Eval(c.points[i], c.points[j])
+}
 
 // Stats reports cache hits and misses since creation.
 func (c *Cache) Stats() (hits, misses int) { return c.hits, c.misses }
 
 // Len returns the number of cached rows.
-func (c *Cache) Len() int { return len(c.rows) }
+func (c *Cache) Len() int {
+	if c.denseRows != nil {
+		return c.denseLen
+	}
+	return len(c.rows)
+}
+
+// NumPoints returns the number of points the cache is built over.
+func (c *Cache) NumPoints() int { return len(c.points) }
 
 func (c *Cache) evict() {
 	back := c.lru.Back()

@@ -127,7 +127,27 @@ type Polynomial struct {
 
 // Eval implements Kernel.
 func (k Polynomial) Eval(x, y Point) float64 {
-	return math.Pow(k.Gamma*x.Dot(y)+k.Coef0, float64(k.Degree))
+	return powi(k.Gamma*x.Dot(y)+k.Coef0, k.Degree)
+}
+
+// powi raises base to a non-negative integer power by squaring; math.Pow's
+// generality (and cost) is unnecessary for the small integer degrees
+// polynomial kernels use. Negative degrees fall back to math.Pow.
+func powi(base float64, deg int) float64 {
+	if deg < 0 {
+		return math.Pow(base, float64(deg))
+	}
+	result := 1.0
+	for deg > 0 {
+		if deg&1 == 1 {
+			result *= base
+		}
+		deg >>= 1
+		if deg > 0 {
+			base *= base
+		}
+	}
+	return result
 }
 
 // Name implements Kernel.

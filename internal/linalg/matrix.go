@@ -75,19 +75,103 @@ func (m *Matrix) Transpose() *Matrix {
 
 // MulVec returns m*v as a new vector. v must have length m.Cols.
 func (m *Matrix) MulVec(v Vector) Vector {
+	return m.MulVecInto(make(Vector, m.Rows), v)
+}
+
+// MulVecInto stores m*v into dst (which must have length m.Rows) and returns
+// dst. It allocates nothing, so hot ranking loops can reuse the destination.
+func (m *Matrix) MulVecInto(dst, v Vector) Vector {
 	if len(v) != m.Cols {
 		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
 	}
-	out := make(Vector, m.Rows)
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVecInto destination length %d, want %d", len(dst), m.Rows))
+	}
+	v = v[:m.Cols]
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		// Four independent accumulators break the loop-carried add
+		// dependency; the combine order is fixed, so results are
+		// deterministic (though grouped differently than a plain
+		// left-to-right sum).
+		var s0, s1, s2, s3 float64
+		j := 0
+		for ; j+4 <= len(row); j += 4 {
+			s0 += row[j] * v[j]
+			s1 += row[j+1] * v[j+1]
+			s2 += row[j+2] * v[j+2]
+			s3 += row[j+3] * v[j+3]
+		}
+		for ; j < len(row); j++ {
+			s0 += row[j] * v[j]
+		}
+		dst[i] = ((s0 + s1) + s2) + s3
+	}
+	return dst
+}
+
+// RowSquaredNorms stores ||row_i||^2 for every row into dst (which must have
+// length m.Rows) and returns dst.
+func (m *Matrix) RowSquaredNorms(dst Vector) Vector {
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: RowSquaredNorms destination length %d, want %d", len(dst), m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for _, x := range row {
+			s += x * x
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// RowSquaredDistancesInto stores ||row_i - v||^2 for every row into dst and
+// returns dst. The per-row arithmetic is identical to Vector.SquaredDistance
+// (same accumulation order), so results are bit-for-bit equal to the scalar
+// path; the win is the flat row-major traversal and the absence of per-row
+// dispatch.
+func (m *Matrix) RowSquaredDistancesInto(dst, v Vector) Vector {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("linalg: RowSquaredDistances shape mismatch %dx%d vs %d", m.Rows, m.Cols, len(v)))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: RowSquaredDistances destination length %d, want %d", len(dst), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		var s float64
 		for j, x := range row {
-			s += x * v[j]
+			d := x - v[j]
+			s += d * d
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
+}
+
+// RowSquaredDistancesNormInto stores ||row_i - v||^2 for every row into dst
+// using the expansion ||x||^2 + ||v||^2 - 2<x,v> with the precomputed row
+// norms, so the whole batch is one matrix-vector product. Cancellation makes
+// the result differ from the direct subtraction by O(1e-15) relative error;
+// negative results from rounding are clamped to zero. Use
+// RowSquaredDistancesInto where bit-exact agreement with the scalar path
+// matters.
+func (m *Matrix) RowSquaredDistancesNormInto(dst, v, rowNorms Vector) Vector {
+	if len(rowNorms) != m.Rows {
+		panic(fmt.Sprintf("linalg: RowSquaredDistancesNormInto norms length %d, want %d", len(rowNorms), m.Rows))
+	}
+	m.MulVecInto(dst, v)
+	vv := v.Dot(v)
+	for i := range dst {
+		d := rowNorms[i] + vv - 2*dst[i]
+		if d < 0 {
+			d = 0
+		}
+		dst[i] = d
+	}
+	return dst
 }
 
 // Mul returns the matrix product m*n.

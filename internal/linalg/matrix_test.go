@@ -1,6 +1,9 @@
 package linalg
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestMatrixAtSet(t *testing.T) {
 	m := NewMatrix(2, 3)
@@ -106,4 +109,61 @@ func TestFromRowsRaggedPanics(t *testing.T) {
 		}
 	}()
 	FromRows([]Vector{{1, 2}, {1}})
+}
+
+func TestMatrixMulVecInto(t *testing.T) {
+	rng := NewRNG(3)
+	m := NewMatrix(7, 11)
+	v := make(Vector, 11)
+	for i := range m.Data {
+		m.Data[i] = rng.Range(-2, 2)
+	}
+	for j := range v {
+		v[j] = rng.Range(-2, 2)
+	}
+	dst := make(Vector, 7)
+	m.MulVecInto(dst, v)
+	for i := 0; i < m.Rows; i++ {
+		if want := m.Row(i).Dot(v); math.Abs(dst[i]-want) > 1e-12 {
+			t.Errorf("MulVecInto[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+}
+
+func TestRowSquaredNorms(t *testing.T) {
+	m := FromRows([]Vector{{3, 4}, {0, 0}, {1, -1}})
+	got := m.RowSquaredNorms(make(Vector, 3))
+	want := Vector{25, 0, 2}
+	if !got.Equal(want, 1e-15) {
+		t.Errorf("RowSquaredNorms = %v, want %v", got, want)
+	}
+}
+
+func TestRowSquaredDistancesVariants(t *testing.T) {
+	rng := NewRNG(5)
+	rows := make([]Vector, 9)
+	for i := range rows {
+		rows[i] = make(Vector, 6)
+		for j := range rows[i] {
+			rows[i][j] = rng.Range(-3, 3)
+		}
+	}
+	m := FromRows(rows)
+	v := rows[4].Clone()
+	norms := m.RowSquaredNorms(make(Vector, len(rows)))
+
+	exact := m.RowSquaredDistancesInto(make(Vector, len(rows)), v)
+	fast := m.RowSquaredDistancesNormInto(make(Vector, len(rows)), v, norms)
+	for i, r := range rows {
+		want := r.SquaredDistance(v)
+		if exact[i] != want {
+			t.Errorf("RowSquaredDistancesInto[%d] = %v, want exactly %v", i, exact[i], want)
+		}
+		if math.Abs(fast[i]-want) > 1e-12 {
+			t.Errorf("RowSquaredDistancesNormInto[%d] = %v, want %v", i, fast[i], want)
+		}
+	}
+	if fast[4] < 0 {
+		t.Error("self-distance must be clamped to >= 0")
+	}
 }

@@ -41,11 +41,19 @@ type Options struct {
 	SVM core.SVMOptions
 	// CSVM configures LRF-CSVM; the zero value selects the library defaults.
 	CSVM core.CSVMParams
+	// Workers bounds the goroutines used to score the collection per query;
+	// <=0 selects GOMAXPROCS.
+	Workers int
 }
 
 // Engine is the retrieval engine. It is safe for concurrent use.
 type Engine struct {
 	opts Options
+
+	// batch holds the collection-level precomputation (flat visual
+	// storage, kernel estimate) shared by every query; built once at
+	// construction since the visual collection is immutable.
+	batch *core.CollectionBatch
 
 	mu         sync.RWMutex
 	visual     []linalg.Vector
@@ -67,7 +75,13 @@ func NewEngine(visual []linalg.Vector, log *feedbacklog.Log, opts Options) (*Eng
 	if log.NumImages() != len(visual) {
 		return nil, fmt.Errorf("retrieval: log covers %d images, collection has %d", log.NumImages(), len(visual))
 	}
-	e := &Engine{opts: opts, visual: visual, log: log, logDirty: true}
+	e := &Engine{
+		opts:     opts,
+		batch:    core.NewCollectionBatch(visual),
+		visual:   visual,
+		log:      log,
+		logDirty: true,
+	}
 	return e, nil
 }
 
@@ -102,14 +116,20 @@ func (e *Engine) logColumns() []*sparse.Vector {
 
 // InitialQuery returns the top-k images by Euclidean visual similarity to
 // the query image — the result list a user judges in the first feedback
-// round.
+// round. It scores the collection through the sharded batch path.
 func (e *Engine) InitialQuery(query, k int) ([]Result, error) {
 	if query < 0 || query >= len(e.visual) {
 		return nil, fmt.Errorf("retrieval: query image %d out of range [0,%d)", query, len(e.visual))
 	}
-	scores := make([]float64, len(e.visual))
-	for i := range e.visual {
-		scores[i] = -e.visual[query].Distance(e.visual[i])
+	ctx := &core.QueryContext{
+		Visual:  e.visual,
+		Query:   query,
+		Workers: e.opts.Workers,
+		Batch:   e.batch,
+	}
+	scores, err := core.Euclidean{}.Rank(ctx)
+	if err != nil {
+		return nil, err
 	}
 	return topResults(scores, k), nil
 }
@@ -184,6 +204,8 @@ func (s *Session) Refine(kind SchemeKind, k int) ([]Result, error) {
 		LogVectors: s.engine.logColumns(),
 		Query:      s.query,
 		Labeled:    labeled,
+		Workers:    s.engine.opts.Workers,
+		Batch:      s.engine.batch,
 	}
 	scheme, err := s.engine.scheme(kind)
 	if err != nil {

@@ -1,0 +1,166 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"lrfcsvm/internal/kernel"
+	"lrfcsvm/internal/linalg"
+)
+
+// trainTestModel trains a small two-cluster RBF model used by the batch
+// parity tests.
+func trainTestModel(t *testing.T, cfg Config) (*Model, []kernel.Point, []linalg.Vector) {
+	t.Helper()
+	rng := linalg.NewRNG(11)
+	var vecs []linalg.Vector
+	var labels []float64
+	for i := 0; i < 24; i++ {
+		center := 0.0
+		label := -1.0
+		if i%2 == 0 {
+			center = 3.0
+			label = 1.0
+		}
+		vecs = append(vecs, linalg.Vector{
+			center + rng.Normal(0, 0.8),
+			rng.Normal(0, 0.8),
+			rng.Normal(0, 0.5),
+		})
+		labels = append(labels, label)
+	}
+	points := kernel.DensePoints(vecs)
+	model, err := Train(NewProblem(points, labels, 1), cfg)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	return model, points, vecs
+}
+
+// TestDecisionBatchMatchesScalar pins the batched decision path to the
+// scalar one on the training points and on fresh probes.
+func TestDecisionBatchMatchesScalar(t *testing.T) {
+	model, points, _ := trainTestModel(t, Config{Kernel: kernel.RBF{Gamma: 0.5}})
+	dst := make([]float64, len(points))
+	model.DecisionBatch(points, dst, nil)
+	for i, p := range points {
+		if want := model.Decision(p); dst[i] != want {
+			t.Errorf("DecisionBatch[%d] = %v, want exactly %v", i, dst[i], want)
+		}
+	}
+}
+
+// TestDecisionSetMatchesScalar pins the fused DenseSet decision path to the
+// scalar one within 1e-12 (the fused RBF path uses the norm expansion and
+// the fast exponential).
+func TestDecisionSetMatchesScalar(t *testing.T) {
+	model, points, vecs := trainTestModel(t, Config{Kernel: kernel.RBF{Gamma: 0.5}})
+	set := kernel.NewDenseSet(vecs)
+	dst := make([]float64, set.Len())
+	model.DecisionSet(set, dst, nil)
+	for i, p := range points {
+		want := model.Decision(p)
+		if math.Abs(dst[i]-want) > 1e-12 {
+			t.Errorf("DecisionSet[%d] = %v, want %v", i, dst[i], want)
+		}
+	}
+}
+
+// TestSharedCacheIdenticalModel verifies that training through a shared,
+// pre-populated kernel cache returns exactly the model a private cache
+// produces — kernel values do not depend on labels or costs, so reusing
+// rows across trainings must not change anything.
+func TestSharedCacheIdenticalModel(t *testing.T) {
+	k := kernel.RBF{Gamma: 0.5}
+	base, points, _ := trainTestModel(t, Config{Kernel: k})
+
+	shared := kernel.NewCache(k, points, 0)
+	// Pre-populate by a first training run, then retrain through the now
+	// warm cache.
+	labels := make([]float64, len(points))
+	for i := range labels {
+		labels[i] = -1
+		if i%2 == 0 {
+			labels[i] = 1
+		}
+	}
+	for run := 0; run < 2; run++ {
+		model, err := Train(NewProblem(points, labels, 1), Config{Kernel: k, SharedCache: shared})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if model.Bias != base.Bias {
+			t.Fatalf("run %d: bias = %v, want %v", run, model.Bias, base.Bias)
+		}
+		for i := range base.Alphas {
+			if model.Alphas[i] != base.Alphas[i] {
+				t.Fatalf("run %d: alpha[%d] = %v, want %v", run, i, model.Alphas[i], base.Alphas[i])
+			}
+		}
+	}
+	if hits, _ := shared.Stats(); hits == 0 {
+		t.Error("second training should have hit the shared cache")
+	}
+}
+
+// TestWarmStartConvergesFaster verifies a feasible warm start converges to
+// (nearly) the same decision function in fewer iterations, and that
+// infeasible warm points are ignored rather than corrupting the solve.
+func TestWarmStartConvergesFaster(t *testing.T) {
+	k := kernel.RBF{Gamma: 0.5}
+	cold, points, _ := trainTestModel(t, Config{Kernel: k})
+	labels := make([]float64, len(points))
+	for i := range labels {
+		labels[i] = -1
+		if i%2 == 0 {
+			labels[i] = 1
+		}
+	}
+
+	warm, err := Train(NewProblem(points, labels, 1), Config{Kernel: k, WarmAlpha: cold.Alphas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Converged {
+		t.Fatal("warm-started solve did not converge")
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Errorf("warm start took %d iterations, cold start %d", warm.Iterations, cold.Iterations)
+	}
+	for _, p := range points {
+		if d := math.Abs(warm.Decision(p) - cold.Decision(p)); d > 0.05 {
+			t.Errorf("warm/cold decision differ by %v", d)
+		}
+	}
+
+	// Costs grew: the old solution stays feasible and must still work.
+	grown, err := Train(Problem{Points: points, Labels: labels, C: filled(len(points), 2)},
+		Config{Kernel: k, WarmAlpha: cold.Alphas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grown.Converged {
+		t.Error("warm start with grown costs did not converge")
+	}
+
+	// Infeasible warm alphas (outside the box) must be ignored.
+	bad := make([]float64, len(points))
+	for i := range bad {
+		bad[i] = 5 // > C
+	}
+	ignored, err := Train(NewProblem(points, labels, 1), Config{Kernel: k, WarmAlpha: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ignored.Bias != cold.Bias {
+		t.Errorf("infeasible warm start changed the solution: bias %v != %v", ignored.Bias, cold.Bias)
+	}
+}
+
+func filled(n int, v float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -25,8 +25,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"lrfcsvm/internal/kernel"
+	"lrfcsvm/internal/linalg"
 )
 
 // Problem is a training set: points, binary labels in {-1,+1} and a
@@ -81,6 +83,21 @@ type Config struct {
 	MaxIterations int
 	// CacheRows bounds the kernel row cache. Zero caches every row.
 	CacheRows int
+	// SharedCache, when non-nil, replaces the solver's private kernel row
+	// cache. It must be built with the same kernel over exactly the
+	// problem's points in the same order. Kernel values depend only on the
+	// points — never on labels or costs — so one cache can serve every
+	// retraining of the coupled SVM's annealing loop over a fixed point
+	// set. The cache is not safe for concurrent use; callers sharing it
+	// must train sequentially.
+	SharedCache *kernel.Cache
+	// WarmAlpha, when non-nil, seeds the solver with a previous solution
+	// (typically Model.Alphas from an earlier training run on the same
+	// points). The values must be feasible for this problem — within
+	// [0, C_i] and with sum_i y_i*alpha_i = 0 — or they are ignored and
+	// the solver cold-starts; labels or shrunken costs that changed since
+	// the previous run usually break feasibility, growing costs never do.
+	WarmAlpha []float64
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -109,6 +126,31 @@ type Model struct {
 	// Converged reports whether the KKT stopping criterion was met before
 	// the iteration budget ran out.
 	Converged bool
+
+	// svOnce lazily builds svSet, the support vectors in flat row-major
+	// storage, for the fused dense scoring path. Models must be shared by
+	// pointer (copying would copy the sync.Once).
+	svOnce sync.Once
+	svSet  *kernel.DenseSet
+}
+
+// denseSVSet returns the support vectors as a flat DenseSet when they are
+// all dense points, building it once on first use; nil otherwise.
+func (m *Model) denseSVSet() *kernel.DenseSet {
+	m.svOnce.Do(func() {
+		vs := make([]linalg.Vector, len(m.SupportPoints))
+		for i, sv := range m.SupportPoints {
+			d, ok := sv.(kernel.Dense)
+			if !ok {
+				return
+			}
+			vs[i] = linalg.Vector(d)
+		}
+		if len(vs) > 0 {
+			m.svSet = kernel.NewDenseSet(vs)
+		}
+	})
+	return m.svSet
 }
 
 // Train solves the dual problem and returns the resulting model.
@@ -175,6 +217,68 @@ func (m *Model) Decision(x kernel.Point) float64 {
 	return sum
 }
 
+// DecisionBatch stores f(ys[j]) into dst[j] through the batched kernel path.
+// buf is optional scratch of length len(ys); pass nil to allocate. The
+// accumulation order per point is identical to Decision, so the scores are
+// bit-for-bit equal to the scalar path. The model is read-only here, so
+// concurrent DecisionBatch calls (e.g. one per collection shard) are safe.
+func (m *Model) DecisionBatch(ys []kernel.Point, dst, buf []float64) {
+	if len(dst) != len(ys) {
+		panic(fmt.Sprintf("svm: DecisionBatch destination length %d, want %d", len(dst), len(ys)))
+	}
+	for j := range dst {
+		dst[j] = m.Bias
+	}
+	if len(m.SupportPoints) == 0 {
+		return
+	}
+	if len(buf) != len(ys) {
+		buf = make([]float64, len(ys))
+	}
+	for i, sv := range m.SupportPoints {
+		kernel.EvalBatch(m.Kernel, sv, ys, buf)
+		c := m.Coefficients[i]
+		for j, kv := range buf {
+			dst[j] += c * kv
+		}
+	}
+}
+
+// DecisionSet stores f(set_i) into dst[i], evaluating every support vector
+// against the flat collection storage. buf is optional scratch of length
+// set.Len(). Dense RBF models go through the fused, pair-blocked
+// kernel.RBF.AccumulateSet path, which matches Decision to O(1e-15)
+// relative error (norm expansion plus ~2 ulp fast exponential); other
+// kernels accumulate per support vector with scalar-identical arithmetic.
+// Safe for concurrent calls on disjoint destinations.
+func (m *Model) DecisionSet(set *kernel.DenseSet, dst, buf []float64) {
+	if len(dst) != set.Len() {
+		panic(fmt.Sprintf("svm: DecisionSet destination length %d, want %d", len(dst), set.Len()))
+	}
+	for j := range dst {
+		dst[j] = m.Bias
+	}
+	if len(m.SupportPoints) == 0 {
+		return
+	}
+	if rbf, ok := m.Kernel.(kernel.RBF); ok {
+		if svs := m.denseSVSet(); svs != nil {
+			rbf.AccumulateSet(m.Coefficients, svs, set, dst)
+			return
+		}
+	}
+	if len(buf) != len(dst) {
+		buf = make([]float64, len(dst))
+	}
+	for i, sv := range m.SupportPoints {
+		kernel.EvalSet(m.Kernel, sv, set, buf)
+		c := m.Coefficients[i]
+		for j, kv := range buf {
+			dst[j] += c * kv
+		}
+	}
+}
+
 // Predict returns the predicted label in {-1,+1}. Zero decision values are
 // mapped to +1.
 func (m *Model) Predict(x kernel.Point) float64 {
@@ -212,48 +316,87 @@ type solver struct {
 
 func newSolver(p Problem, cfg Config) *solver {
 	n := len(p.Points)
+	cache := cfg.SharedCache
+	if cache == nil || cache.NumPoints() != n {
+		cache = kernel.NewCache(cfg.Kernel, p.Points, cfg.CacheRows)
+	}
 	s := &solver{
 		p:     p,
 		cfg:   cfg,
-		cache: kernel.NewCache(cfg.Kernel, p.Points, cfg.CacheRows),
+		cache: cache,
 		alpha: make([]float64, n),
 		grad:  make([]float64, n),
 	}
 	for i := range s.grad {
 		s.grad[i] = -1 // alpha = 0 => G = -e
 	}
+	s.warmStart()
 	return s
 }
 
-// q returns Q_ij = y_i y_j K_ij using the row cache.
-func (s *solver) q(i, j int) float64 {
-	return s.p.Labels[i] * s.p.Labels[j] * s.cache.Eval(i, j)
-}
-
-func (s *solver) inUp(i int) bool {
-	y, a := s.p.Labels[i], s.alpha[i]
-	return (y > 0 && a < s.p.C[i]) || (y < 0 && a > 0)
-}
-
-func (s *solver) inLow(i int) bool {
-	y, a := s.p.Labels[i], s.alpha[i]
-	return (y < 0 && a < s.p.C[i]) || (y > 0 && a > 0)
+// warmStart seeds alpha with cfg.WarmAlpha when it is feasible for this
+// problem and rebuilds the gradient G = Q*alpha - e from the cached kernel
+// rows of the non-zero alphas. Infeasible warm points (wrong length, outside
+// the box, violating the equality constraint) are silently ignored — the
+// solver simply cold-starts, which is always correct.
+func (s *solver) warmStart() {
+	warm := s.cfg.WarmAlpha
+	if len(warm) != len(s.p.Points) {
+		return
+	}
+	var linear float64
+	for i, a := range warm {
+		if a < 0 || a > s.p.C[i] || math.IsNaN(a) {
+			return
+		}
+		linear += s.p.Labels[i] * a
+	}
+	if math.Abs(linear) > 1e-9 {
+		return
+	}
+	copy(s.alpha, warm)
+	for i, a := range s.alpha {
+		if a == 0 {
+			continue
+		}
+		row := s.cache.Row(i)
+		ayi := a * s.p.Labels[i]
+		for t := range s.grad {
+			s.grad[t] += ayi * s.p.Labels[t] * row[t]
+		}
+	}
 }
 
 // selectPair returns the maximal violating pair and the current violation.
+// The up-set/low-set membership tests ((y>0 && a<C)||(y<0 && a>0) and its
+// mirror) are inlined so the scan reads each slot exactly once.
 func (s *solver) selectPair() (i, j int, violation float64) {
 	maxUp := math.Inf(-1)
 	minLow := math.Inf(1)
 	i, j = -1, -1
-	for t := range s.p.Points {
-		v := -s.p.Labels[t] * s.grad[t]
-		if s.inUp(t) && v > maxUp {
-			maxUp = v
-			i = t
-		}
-		if s.inLow(t) && v < minLow {
-			minLow = v
-			j = t
+	labels, grad, alpha, costs := s.p.Labels, s.grad, s.alpha, s.p.C
+	for t := range labels {
+		y := labels[t]
+		v := -y * grad[t]
+		a := alpha[t]
+		if y > 0 {
+			if a < costs[t] && v > maxUp {
+				maxUp = v
+				i = t
+			}
+			if a > 0 && v < minLow {
+				minLow = v
+				j = t
+			}
+		} else {
+			if a > 0 && v > maxUp {
+				maxUp = v
+				i = t
+			}
+			if a < costs[t] && v < minLow {
+				minLow = v
+				j = t
+			}
 		}
 	}
 	if i < 0 || j < 0 {
@@ -272,9 +415,14 @@ func (s *solver) solve() {
 		}
 		yi, yj := s.p.Labels[i], s.p.Labels[j]
 		ci, cj := s.p.C[i], s.p.C[j]
-		kii := s.cache.Eval(i, i)
-		kjj := s.cache.Eval(j, j)
-		kij := s.cache.Eval(i, j)
+		// Both rows are needed for the gradient update below anyway, so
+		// fetch them first and read the three pair entries from them
+		// instead of issuing separate single-pair probes.
+		rowI := s.cache.Row(i)
+		rowJ := s.cache.Row(j)
+		kii := rowI[i]
+		kjj := rowJ[j]
+		kij := rowI[j]
 		oldAi, oldAj := s.alpha[i], s.alpha[j]
 
 		if yi != yj {
@@ -350,12 +498,14 @@ func (s *solver) solve() {
 			s.converged = true
 			return
 		}
-		rowI := s.cache.Row(i)
-		rowJ := s.cache.Row(j)
-		for t := range s.grad {
-			qti := s.p.Labels[t] * yi * rowI[t]
-			qtj := s.p.Labels[t] * yj * rowJ[t]
-			s.grad[t] += qti*dAi + qtj*dAj
+		// y_i*dA_i and y_j*dA_j are hoisted: labels are exactly +-1, so
+		// the refactored products are bit-identical to the per-term form.
+		ydAi := yi * dAi
+		ydAj := yj * dAj
+		grad := s.grad
+		labels := s.p.Labels
+		for t := range grad {
+			grad[t] += labels[t] * (ydAi*rowI[t] + ydAj*rowJ[t])
 		}
 	}
 }
