@@ -1,23 +1,35 @@
 // Command cbirserver serves the content-based image retrieval engine over a
 // JSON HTTP API: initial queries, relevance-feedback sessions with any of
-// the library's schemes (including the paper's LRF-CSVM), and committing
-// feedback rounds into the long-term log.
+// the library's schemes (including the paper's LRF-CSVM), committing
+// feedback rounds into the long-term log, and live image ingestion.
+//
+// The collection can come from a feature/log store pair or from an engine
+// snapshot. With -snapshot the server loads the snapshot when it exists
+// (falling back to -features/-log for the initial import) and persists the
+// grown collection and log back to it on graceful shutdown (SIGINT/SIGTERM),
+// closing the persistence loop of the live collection.
 //
 // Example:
 //
 //	featextract -out features.bin
 //	loggen -features features.bin -out log.bin
-//	cbirserver -features features.bin -log log.bin -addr :8080
+//	cbirserver -features features.bin -log log.bin -snapshot engine.snap -addr :8080
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"lrfcsvm/internal/feedbacklog"
+	"lrfcsvm/internal/linalg"
 	"lrfcsvm/internal/retrieval"
 	"lrfcsvm/internal/server"
 	"lrfcsvm/internal/storage"
@@ -27,31 +39,83 @@ func main() {
 	var (
 		featuresPath = flag.String("features", "features.bin", "feature store written by featextract")
 		logPath      = flag.String("log", "", "optional log store written by loggen")
+		snapshotPath = flag.String("snapshot", "", "optional engine snapshot: loaded when present, written on graceful shutdown")
 		addr         = flag.String("addr", ":8080", "listen address")
+		sessionTTL   = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle feedback sessions are evicted after this long")
+		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "cap on live feedback sessions (LRU eviction beyond it)")
 	)
 	flag.Parse()
 
-	visual, _, err := storage.LoadFeatures(*featuresPath)
+	visual, fblog, err := loadCollection(*snapshotPath, *featuresPath, *logPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbirserver:", err)
 		os.Exit(1)
-	}
-	var fblog *feedbacklog.Log
-	if *logPath != "" {
-		fblog, err = storage.LoadLog(*logPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cbirserver:", err)
-			os.Exit(1)
-		}
 	}
 	engine, err := retrieval.NewEngine(visual, fblog, retrieval.Options{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbirserver:", err)
 		os.Exit(1)
 	}
-	srv := server.New(engine)
+	srv := server.NewWithConfig(engine, server.Config{SessionTTL: *sessionTTL, MaxSessions: *maxSessions})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		sig := <-stop
+		log.Printf("cbirserver: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		// Stop accepting requests and drain in-flight ones, then shut the
+		// session layer down before the final snapshot.
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("cbirserver: shutdown: %v", err)
+		}
+		srv.Close()
+		if *snapshotPath != "" {
+			snapVisual, snapLog := engine.Snapshot()
+			if err := storage.SaveSnapshot(*snapshotPath, snapVisual, snapLog); err != nil {
+				log.Printf("cbirserver: save snapshot: %v", err)
+			} else {
+				log.Printf("cbirserver: snapshot of %d images (%d log sessions) written to %s",
+					len(snapVisual), snapLog.NumSessions(), *snapshotPath)
+			}
+		}
+	}()
+
 	log.Printf("cbirserver: serving %d images (%d log sessions) on %s", engine.NumImages(), engine.NumLogSessions(), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("cbirserver: %v", err)
 	}
+	// ListenAndServe returns as soon as Shutdown begins; wait for the
+	// shutdown goroutine to finish draining and writing the snapshot.
+	<-shutdownDone
+}
+
+// loadCollection resolves the startup collection: an existing snapshot wins,
+// otherwise the feature store (plus optional log store) is imported.
+func loadCollection(snapshotPath, featuresPath, logPath string) ([]linalg.Vector, *feedbacklog.Log, error) {
+	if snapshotPath != "" {
+		visual, fblog, err := storage.LoadSnapshot(snapshotPath)
+		if err == nil {
+			log.Printf("cbirserver: resuming from snapshot %s", snapshotPath)
+			return visual, fblog, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, nil, err
+		}
+	}
+	visual, _, err := storage.LoadFeatures(featuresPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var fblog *feedbacklog.Log
+	if logPath != "" {
+		if fblog, err = storage.LoadLog(logPath); err != nil {
+			return nil, nil, err
+		}
+	}
+	return visual, fblog, nil
 }

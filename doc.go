@@ -15,6 +15,26 @@
 // Figures 3-4, an interactive retrieval engine, binary persistence, and a
 // JSON HTTP server.
 //
+// # Dynamic collections
+//
+// The engine serves a living collection: retrieval.Engine.AddImages (and
+// POST /api/images on the HTTP server) ingests new visual descriptors while
+// queries and feedback rounds keep running. Ingestion is copy-on-write — the
+// flat kernel store, its row norms and the collection-level kernel estimate
+// grow incrementally and are published as a new immutable epoch, so
+// in-flight rankings finish against their own consistent snapshot and are
+// never blocked or torn. Committed feedback rounds extend the per-image log
+// relevance columns incrementally the same way. A grown engine can be
+// persisted as one self-contained snapshot file (storage.SaveSnapshot /
+// retrieval.Engine.Snapshot) and reloaded bit-identically; cmd/cbirserver
+// does this automatically on graceful shutdown via its -snapshot flag.
+//
+// The HTTP server manages feedback-session lifecycles for sustained
+// traffic: sessions idle longer than the TTL (default 30 minutes) are
+// evicted by a background sweeper, the live-session table is capped
+// (default 16384, least-recently-used evicted first), and Server.Close
+// shuts the session layer down gracefully.
+//
 // Start with the README for an architecture overview, DESIGN.md for the
 // system inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-versus-measured results. The public entry points live under

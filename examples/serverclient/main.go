@@ -54,7 +54,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: server.New(engine).Handler()}
+	api := server.New(engine)
+	defer api.Close() // stops the session-TTL sweeper
+	srv := &http.Server{Handler: api.Handler()}
 	go func() {
 		if err := srv.Serve(listener); err != http.ErrServerClosed {
 			log.Println("server:", err)

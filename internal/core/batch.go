@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -50,6 +51,26 @@ type CollectionBatch struct {
 // reach the batch.
 func NewCollectionBatch(visual []linalg.Vector) *CollectionBatch {
 	return &CollectionBatch{src: visual, set: kernel.NewDenseSet(visual)}
+}
+
+// Grow returns a CollectionBatch extended to cover visual: the receiver's
+// source collection plus descriptors appended after it (the prefix must be
+// the same collection; only the length grows). The flat store grows
+// copy-on-write through kernel.DenseSet.Grow, so row norms are computed only
+// for the appended descriptors and in-flight queries against the receiver
+// are never disturbed. The default-kernel bandwidth is re-estimated lazily
+// over the full grown collection — the evenly spaced subsample of the
+// estimator is deterministic, so the grown batch's kernel is identical to a
+// from-scratch batch over the same collection. The query-distance and
+// log-point caches start empty: their shapes track the collection size.
+func (b *CollectionBatch) Grow(visual []linalg.Vector) *CollectionBatch {
+	if len(visual) < len(b.src) {
+		panic(fmt.Sprintf("core: Grow shrinks the collection from %d to %d images", len(b.src), len(visual)))
+	}
+	if len(b.src) > 0 && &visual[0][0] != &b.src[0][0] {
+		panic("core: Grow with a different collection prefix")
+	}
+	return &CollectionBatch{src: visual, set: b.set.Grow(visual[len(b.src):])}
 }
 
 // matches reports whether the batch was built from exactly this collection

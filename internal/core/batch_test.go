@@ -150,3 +150,50 @@ func TestTrainCoupledWarmStart(t *testing.T) {
 		t.Errorf("warm start changed precision@10 from %v to %v", pCold, pWarm)
 	}
 }
+
+// TestCollectionBatchGrowParity pins the copy-on-write grow path: a batch
+// grown image by image must rank bit-identically to a batch rebuilt from
+// scratch over the same collection, for every scheme.
+func TestCollectionBatchGrowParity(t *testing.T) {
+	col := makeCollection(t, 3, 10, 25, 0, 77)
+	prefix := 22
+	grown := NewCollectionBatch(col.visual[:prefix:prefix])
+	// Grow in two steps to exercise chained grows.
+	mid := col.visual[:26:26]
+	grown = grown.Grow(mid)
+	grown = grown.Grow(col.visual)
+	rebuilt := NewCollectionBatch(col.visual)
+
+	for _, scheme := range []Scheme{Euclidean{}, RFSVM{}, LRF2SVMs{}, LRFCSVM{}} {
+		ctx := col.queryContext(4, 10)
+		ctx.Batch = grown
+		got, err := scheme.Rank(ctx)
+		if err != nil {
+			t.Fatalf("%s on grown batch: %v", scheme.Name(), err)
+		}
+		ctx2 := col.queryContext(4, 10)
+		ctx2.Batch = rebuilt
+		want, err := scheme.Rank(ctx2)
+		if err != nil {
+			t.Fatalf("%s on rebuilt batch: %v", scheme.Name(), err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: score %d differs: grown %v, rebuilt %v", scheme.Name(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCollectionBatchGrowRejectsDifferentPrefix(t *testing.T) {
+	col := makeCollection(t, 2, 6, 10, 0, 5)
+	b := NewCollectionBatch(col.visual[:8:8])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("growing onto a different collection did not panic")
+		}
+	}()
+	other := append([]linalg.Vector(nil), col.visual...)
+	other[0] = append(linalg.Vector(nil), other[0]...)
+	b.Grow(other)
+}

@@ -58,6 +58,25 @@ func NewLog(numImages int) *Log {
 // NumImages returns the size of the image collection the log refers to.
 func (l *Log) NumImages() int { return l.numImages }
 
+// GrowImages extends the log's collection coverage by added images (appended
+// at the end of the index space). Existing sessions are untouched; the new
+// images simply have no judgments yet. The retrieval engine calls this when
+// images are ingested into a live collection.
+func (l *Log) GrowImages(added int) {
+	if added < 0 {
+		panic(fmt.Sprintf("feedbacklog: negative image growth %d", added))
+	}
+	l.numImages += added
+}
+
+// Clone returns a snapshot copy of the log: the session list is copied, so
+// the original can keep growing while the clone is serialized or inspected.
+// The per-session judgment maps are shared — they are treated as immutable
+// once added (AddSession callers hand over ownership).
+func (l *Log) Clone() *Log {
+	return &Log{numImages: l.numImages, sessions: append([]Session(nil), l.sessions...)}
+}
+
 // NumSessions returns the number of recorded sessions, i.e. the
 // dimensionality M of the per-image log relevance vectors.
 func (l *Log) NumSessions() int { return len(l.sessions) }
@@ -119,6 +138,52 @@ func (l *Log) RelevanceVectors() []*sparse.Vector {
 		sort.Ints(imgs)
 		for _, img := range imgs {
 			out[img].Set(sid, float64(s.Judgments[img]))
+		}
+	}
+	return out
+}
+
+// ExtendRelevanceVectors returns the current relevance vectors of every
+// image, reusing a column view previously built when the log had
+// prevSessions sessions and covered len(prev) images (prev as returned by
+// RelevanceVectors or an earlier ExtendRelevanceVectors call). The result is
+// element-wise equal to a fresh RelevanceVectors call, but costs
+// O(images + judgments added since prev) instead of O(images + all
+// judgments): unchanged columns share their entry storage with prev, columns
+// judged since then get their new components appended copy-on-write, and
+// images added by GrowImages since prev get empty columns. When nothing
+// changed, prev itself is returned, so downstream caches keyed on slice
+// identity keep hitting. prev is never mutated.
+func (l *Log) ExtendRelevanceVectors(prev []*sparse.Vector, prevSessions int) []*sparse.Vector {
+	if prevSessions < 0 || prevSessions > len(l.sessions) || len(prev) > l.numImages {
+		panic(fmt.Sprintf("feedbacklog: stale column view (%d images at %d sessions) cannot extend to %d images at %d sessions",
+			len(prev), prevSessions, l.numImages, len(l.sessions)))
+	}
+	if prevSessions == len(l.sessions) && len(prev) == l.numImages {
+		return prev
+	}
+	dim := len(l.sessions)
+	out := make([]*sparse.Vector, l.numImages)
+	for i, v := range prev {
+		out[i] = &sparse.Vector{Dim: dim, Entries: v.Entries}
+	}
+	for i := len(prev); i < l.numImages; i++ {
+		out[i] = sparse.New(dim)
+	}
+	for sid := prevSessions; sid < len(l.sessions); sid++ {
+		s := l.sessions[sid]
+		imgs := make([]int, 0, len(s.Judgments))
+		for img := range s.Judgments {
+			imgs = append(imgs, img)
+		}
+		sort.Ints(imgs)
+		for _, img := range imgs {
+			// Sessions are appended in id order and every existing entry of
+			// the column has a smaller session index, so the new component
+			// goes at the end; the full slice expression forces the append
+			// to copy instead of scribbling on storage shared with prev.
+			e := out[img].Entries
+			out[img].Entries = append(e[:len(e):len(e)], sparse.Entry{Index: sid, Value: float64(s.Judgments[img])})
 		}
 	}
 	return out

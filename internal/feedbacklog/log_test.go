@@ -2,6 +2,8 @@ package feedbacklog
 
 import (
 	"testing"
+
+	"lrfcsvm/internal/linalg"
 )
 
 func TestNewLogPanicsOnBadSize(t *testing.T) {
@@ -138,5 +140,97 @@ func mustAdd(t *testing.T, l *Log, judgments map[int]Judgment) {
 	t.Helper()
 	if _, err := l.AddSession(Session{Judgments: judgments}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestExtendRelevanceVectorsMatchesFullRebuild(t *testing.T) {
+	log := NewLog(6)
+	add := func(query int, judgments map[int]Judgment) {
+		t.Helper()
+		if _, err := log.AddSession(Session{QueryImage: query, Judgments: judgments}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, map[int]Judgment{0: Relevant, 2: Irrelevant})
+	cols := log.RelevanceVectors()
+
+	// Grow the collection and the log in interleaved steps, extending the
+	// cached columns each time, and compare against a fresh rebuild.
+	add(1, map[int]Judgment{1: Relevant, 2: Relevant})
+	cols = log.ExtendRelevanceVectors(cols, 1)
+	log.GrowImages(2)
+	cols = log.ExtendRelevanceVectors(cols, 2)
+	add(7, map[int]Judgment{7: Relevant, 0: Irrelevant, 2: Irrelevant})
+	add(3, map[int]Judgment{3: Relevant, 7: Irrelevant})
+	cols = log.ExtendRelevanceVectors(cols, 2)
+
+	want := log.RelevanceVectors()
+	if len(cols) != len(want) {
+		t.Fatalf("extended %d columns, rebuilt %d", len(cols), len(want))
+	}
+	for i := range want {
+		if !cols[i].Equal(want[i], 0) {
+			t.Errorf("column %d: extended %v, rebuilt %v", i, cols[i].ToDense(), want[i].ToDense())
+		}
+	}
+}
+
+func TestExtendRelevanceVectorsNoChangeReturnsPrev(t *testing.T) {
+	log := NewLog(3)
+	if _, err := log.AddSession(Session{Judgments: map[int]Judgment{1: Relevant}}); err != nil {
+		t.Fatal(err)
+	}
+	cols := log.RelevanceVectors()
+	if got := log.ExtendRelevanceVectors(cols, 1); &got[0] != &cols[0] {
+		t.Error("unchanged log did not return the previous column view")
+	}
+}
+
+func TestExtendRelevanceVectorsDoesNotMutatePrev(t *testing.T) {
+	log := NewLog(3)
+	if _, err := log.AddSession(Session{Judgments: map[int]Judgment{0: Relevant, 1: Irrelevant}}); err != nil {
+		t.Fatal(err)
+	}
+	cols := log.RelevanceVectors()
+	dense := make([]linalg.Vector, len(cols))
+	for i, v := range cols {
+		dense[i] = v.ToDense()
+	}
+	if _, err := log.AddSession(Session{Judgments: map[int]Judgment{0: Irrelevant, 2: Relevant}}); err != nil {
+		t.Fatal(err)
+	}
+	_ = log.ExtendRelevanceVectors(cols, 1)
+	for i, v := range cols {
+		if v.Dim != 1 || !v.ToDense().Equal(dense[i], 0) {
+			t.Errorf("column %d of the previous view changed: %v", i, v.ToDense())
+		}
+	}
+}
+
+func TestExtendRelevanceVectorsStalePanics(t *testing.T) {
+	log := NewLog(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale column view did not panic")
+		}
+	}()
+	log.ExtendRelevanceVectors(nil, 5)
+}
+
+func TestCloneIsolatesSessionList(t *testing.T) {
+	log := NewLog(4)
+	if _, err := log.AddSession(Session{Judgments: map[int]Judgment{0: Relevant}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := log.Clone()
+	log.GrowImages(3)
+	if _, err := log.AddSession(Session{Judgments: map[int]Judgment{5: Relevant}}); err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumImages() != 4 || snap.NumSessions() != 1 {
+		t.Errorf("clone changed: %d images, %d sessions", snap.NumImages(), snap.NumSessions())
+	}
+	if log.NumImages() != 7 || log.NumSessions() != 2 {
+		t.Errorf("original = %d images, %d sessions", log.NumImages(), log.NumSessions())
 	}
 }

@@ -173,6 +173,68 @@ func (s *DenseSet) Slice(lo, hi int) *DenseSet {
 	}
 }
 
+// Grow returns a new DenseSet holding the receiver's points followed by vs
+// (which are copied). The receiver is left untouched and remains valid for
+// concurrent readers: growing reuses the receiver's storage when the backing
+// arrays have spare capacity — writes then land only in rows past the
+// receiver's length — and reallocates (leaving the receiver on the old
+// arrays) otherwise. Row norms and point views are computed only for the
+// appended rows, so a grow costs O(len(vs)·dim) plus an amortized O(1)
+// storage move, not a full O(n·dim) rebuild.
+//
+// Because spare capacity is shared along the chain of grown sets, only the
+// most recently grown set may be grown again, and Grow calls must be
+// serialized externally (the retrieval engine's mutation lock does both).
+func (s *DenseSet) Grow(vs []linalg.Vector) *DenseSet {
+	if len(vs) == 0 {
+		return s
+	}
+	if s.Len() == 0 {
+		return NewDenseSet(vs)
+	}
+	cols := s.mat.Cols
+	for _, v := range vs {
+		if len(v) != cols {
+			panic(fmt.Sprintf("kernel: Grow vector of dimension %d into set of dimension %d", len(v), cols))
+		}
+	}
+	oldData := s.mat.Data
+	data := oldData
+	for _, v := range vs {
+		data = append(data, v...)
+	}
+	mat := &linalg.Matrix{Rows: s.mat.Rows + len(vs), Cols: cols, Data: data}
+
+	// Same arithmetic as Matrix.RowSquaredNorms, applied only to new rows,
+	// so grown norms are bit-identical to a from-scratch rebuild.
+	norms := s.norms
+	for i := s.mat.Rows; i < mat.Rows; i++ {
+		row := data[i*cols : (i+1)*cols]
+		var sum float64
+		for _, x := range row {
+			sum += x * x
+		}
+		norms = append(norms, sum)
+	}
+
+	var pts []Point
+	if &oldData[0] != &data[0] {
+		// The append moved the storage: rebuild the point views against the
+		// new array so the old one is not pinned once the receiver dies.
+		// O(n) header writes, amortized away by the doubling growth.
+		pts = make([]Point, 0, mat.Rows)
+		for i := 0; i < mat.Rows; i++ {
+			pts = append(pts, Dense(data[i*cols:(i+1)*cols]))
+		}
+	} else {
+		pts = s.pts
+		for i := s.mat.Rows; i < mat.Rows; i++ {
+			pts = append(pts, Dense(data[i*cols:(i+1)*cols]))
+		}
+	}
+	return &DenseSet{mat: mat, norms: norms, pts: pts}
+}
+
 // SetKernel is a kernel with a specialized evaluation of one dense point
 // against a whole DenseSet. dst[i] receives K(x, set_i); len(dst) must equal
 // set.Len().

@@ -212,3 +212,76 @@ func TestPowiMatchesPow(t *testing.T) {
 		t.Errorf("powi(2,-2) = %v, want 0.25", got)
 	}
 }
+
+func TestDenseSetGrowMatchesRebuild(t *testing.T) {
+	all, _ := batchDensePoints(40, 7, 99)
+	// Grow in several uneven steps from a small base.
+	set := NewDenseSet(all[:5])
+	for _, hi := range []int{6, 13, 14, 29, 40} {
+		set = set.Grow(all[set.Len():hi])
+	}
+	want := NewDenseSet(all)
+	if set.Len() != want.Len() || set.Dim() != want.Dim() {
+		t.Fatalf("grown set %dx%d, want %dx%d", set.Len(), set.Dim(), want.Len(), want.Dim())
+	}
+	for i := 0; i < want.Len(); i++ {
+		if set.Norms()[i] != want.Norms()[i] {
+			t.Fatalf("norm %d: grown %v, rebuilt %v", i, set.Norms()[i], want.Norms()[i])
+		}
+		g := linalg.Vector(set.Point(i))
+		r := linalg.Vector(want.Point(i))
+		if !g.Equal(r, 0) {
+			t.Fatalf("point %d: grown %v, rebuilt %v", i, g, r)
+		}
+		p := linalg.Vector(set.Points()[i].(Dense))
+		if !p.Equal(r, 0) {
+			t.Fatalf("point view %d: grown %v, rebuilt %v", i, p, r)
+		}
+	}
+	// Kernel rows over the grown set match the rebuilt set bit for bit.
+	k := RBF{Gamma: 0.35}
+	got := make([]float64, set.Len())
+	exp := make([]float64, want.Len())
+	k.EvalSet(linalg.Vector(set.Point(2)), set, got)
+	k.EvalSet(linalg.Vector(want.Point(2)), want, exp)
+	for i := range got {
+		if got[i] != exp[i] {
+			t.Fatalf("EvalSet[%d]: grown %v, rebuilt %v", i, got[i], exp[i])
+		}
+	}
+}
+
+func TestDenseSetGrowLeavesReceiverIntact(t *testing.T) {
+	all, _ := batchDensePoints(24, 5, 123)
+	base := NewDenseSet(all[:8])
+	wantNorms := append(linalg.Vector(nil), base.Norms()...)
+	wantData := append([]float64(nil), base.Matrix().Data...)
+
+	grown := base
+	for _, hi := range []int{9, 16, 24} {
+		grown = grown.Grow(all[grown.Len():hi])
+	}
+	if base.Len() != 8 {
+		t.Fatalf("receiver length changed to %d", base.Len())
+	}
+	if !base.Norms().Equal(wantNorms, 0) {
+		t.Fatalf("receiver norms changed: %v != %v", base.Norms(), wantNorms)
+	}
+	if !linalg.Vector(base.Matrix().Data).Equal(linalg.Vector(wantData), 0) {
+		t.Fatal("receiver storage changed")
+	}
+	if grown.Len() != 24 {
+		t.Fatalf("grown length %d, want 24", grown.Len())
+	}
+}
+
+func TestDenseSetGrowDimensionMismatchPanics(t *testing.T) {
+	all, _ := batchDensePoints(4, 5, 5)
+	set := NewDenseSet(all)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grow with mismatched dimension did not panic")
+		}
+	}()
+	set.Grow([]linalg.Vector{make(linalg.Vector, 3)})
+}

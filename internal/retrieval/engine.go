@@ -2,15 +2,17 @@
 // user-facing system (the HTTP server, the examples) talks to. It owns the
 // indexed collection (visual descriptors and the accumulated user-feedback
 // log), answers initial queries by visual similarity, runs
-// relevance-feedback rounds with any of the library's schemes, and appends
+// relevance-feedback rounds with any of the library's schemes, appends
 // committed feedback rounds back into the log — closing the long-term
-// learning loop the paper is about.
+// learning loop the paper is about — and ingests new images into the live
+// collection without interrupting in-flight queries.
 package retrieval
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"lrfcsvm/internal/core"
 	"lrfcsvm/internal/feedbacklog"
@@ -46,20 +48,33 @@ type Options struct {
 	Workers int
 }
 
-// Engine is the retrieval engine. It is safe for concurrent use.
+// epoch is one immutable snapshot of the indexed collection: the visual
+// descriptors and the collection-level precomputation built over them.
+// Ingesting images publishes a new epoch; queries started against an older
+// epoch keep ranking its (still valid) snapshot, so ingestion never blocks
+// or corrupts an in-flight ranking.
+type epoch struct {
+	visual []linalg.Vector
+	batch  *core.CollectionBatch
+}
+
+// Engine is the retrieval engine. It is safe for concurrent use: queries and
+// feedback rounds proceed lock-free against the current collection epoch,
+// while mutations (image ingestion, log commits) are serialized behind a
+// mutation lock and become visible atomically.
 type Engine struct {
 	opts Options
 
-	// batch holds the collection-level precomputation (flat visual
-	// storage, kernel estimate) shared by every query; built once at
-	// construction since the visual collection is immutable.
-	batch *core.CollectionBatch
+	// cur is the current collection epoch; readers Load it once per
+	// operation and work against that consistent snapshot.
+	cur atomic.Pointer[epoch]
 
-	mu         sync.RWMutex
-	visual     []linalg.Vector
-	log        *feedbacklog.Log
-	logVectors []*sparse.Vector // rebuilt lazily after log changes
-	logDirty   bool
+	// mu serializes mutations and guards the log and the incremental
+	// log-column cache.
+	mu          sync.Mutex
+	log         *feedbacklog.Log
+	logVectors  []*sparse.Vector // incremental column cache, see logColumns
+	logSessions int              // sessions covered by logVectors
 }
 
 // NewEngine builds an engine over a collection of visual descriptors and an
@@ -75,57 +90,116 @@ func NewEngine(visual []linalg.Vector, log *feedbacklog.Log, opts Options) (*Eng
 	if log.NumImages() != len(visual) {
 		return nil, fmt.Errorf("retrieval: log covers %d images, collection has %d", log.NumImages(), len(visual))
 	}
-	e := &Engine{
-		opts:     opts,
-		batch:    core.NewCollectionBatch(visual),
-		visual:   visual,
-		log:      log,
-		logDirty: true,
-	}
+	// Detach from the caller's slice: the engine appends to its current
+	// epoch's slice when ingesting, which must never collide with a caller
+	// holding (and growing) the original.
+	visual = append([]linalg.Vector(nil), visual...)
+	e := &Engine{opts: opts, log: log}
+	e.cur.Store(&epoch{visual: visual, batch: core.NewCollectionBatch(visual)})
 	return e, nil
 }
 
-// NumImages returns the collection size.
-func (e *Engine) NumImages() int { return len(e.visual) }
+// NumImages returns the current collection size.
+func (e *Engine) NumImages() int { return len(e.cur.Load().visual) }
+
+// Dim returns the dimensionality of the collection's visual descriptors.
+func (e *Engine) Dim() int { return e.cur.Load().batch.VisualSet().Dim() }
 
 // NumLogSessions returns the number of feedback sessions accumulated so far.
 func (e *Engine) NumLogSessions() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.log.NumSessions()
 }
 
-// Log returns the engine's feedback log (shared, not a copy).
+// Log returns the engine's feedback log (shared, not a copy). Callers that
+// need a stable view while the engine keeps serving should use Snapshot.
 func (e *Engine) Log() *feedbacklog.Log {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.log
 }
 
-// logColumns returns the per-image log vectors, rebuilding the cache if the
-// log changed since the last call.
-func (e *Engine) logColumns() []*sparse.Vector {
+// AddImages ingests new visual descriptors into the live collection,
+// appending them after the existing images, and returns the index of the
+// first added image. The descriptors are copied. Ingestion extends the
+// collection's flat store and feedback-log coverage copy-on-write (norms and
+// kernel precomputation are built incrementally for the new rows only) and
+// publishes the grown collection as a new epoch: queries already ranking the
+// previous epoch finish undisturbed, and every query started afterwards sees
+// the new images.
+func (e *Engine) AddImages(descriptors []linalg.Vector) (int, error) {
+	if len(descriptors) == 0 {
+		return 0, fmt.Errorf("retrieval: no descriptors to add")
+	}
+	dim := e.Dim()
+	added := make([]linalg.Vector, len(descriptors))
+	for i, d := range descriptors {
+		if len(d) != dim {
+			return 0, fmt.Errorf("retrieval: descriptor %d has dimension %d, collection has %d", i, len(d), dim)
+		}
+		added[i] = append(linalg.Vector(nil), d...)
+	}
+
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.logDirty {
-		e.logVectors = e.log.RelevanceVectors()
-		e.logDirty = false
-	}
-	return e.logVectors
+	old := e.cur.Load()
+	first := len(old.visual)
+	// Plain append keeps the grow amortized: when it extends in place only
+	// elements past the previous epoch's length are written, and when it
+	// reallocates the previous epoch keeps the old backing array — either
+	// way readers of the old epoch are never disturbed. Mutations are
+	// serialized by e.mu, so only the latest epoch's slice is ever appended
+	// to.
+	visual := append(old.visual, added...)
+	e.log.GrowImages(len(added))
+	e.cur.Store(&epoch{visual: visual, batch: old.batch.Grow(visual)})
+	return first, nil
+}
+
+// Snapshot returns a mutually consistent copy of the collection's visual
+// descriptors and the feedback log, suitable for persisting while the engine
+// keeps serving and ingesting (see package storage's snapshot format).
+func (e *Engine) Snapshot() ([]linalg.Vector, *feedbacklog.Log) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ep := e.cur.Load()
+	// The descriptor vectors themselves are immutable; copying the headers
+	// detaches the snapshot from the engine's append chain.
+	visual := append([]linalg.Vector(nil), ep.visual...)
+	return visual, e.log.Clone()
+}
+
+// logColumns returns the per-image log relevance vectors covering at least
+// the given epoch's collection, extending the incremental cache by whatever
+// sessions and images arrived since the last call. The returned slice is
+// trimmed to the epoch's collection size so schemes see an exactly matching
+// column view; trimming shares storage, so the batch-level point-wrapper
+// memo stays warm across feedback rounds that do not change the log.
+func (e *Engine) logColumns(ep *epoch) []*sparse.Vector {
+	e.mu.Lock()
+	e.logVectors = e.log.ExtendRelevanceVectors(e.logVectors, e.logSessions)
+	e.logSessions = e.log.NumSessions()
+	cols := e.logVectors
+	e.mu.Unlock()
+	// The log covers every image the engine has ever published, which may
+	// already exceed this epoch's snapshot if an ingestion raced ahead.
+	return cols[:len(ep.visual)]
 }
 
 // InitialQuery returns the top-k images by Euclidean visual similarity to
 // the query image — the result list a user judges in the first feedback
 // round. It scores the collection through the sharded batch path.
 func (e *Engine) InitialQuery(query, k int) ([]Result, error) {
-	if query < 0 || query >= len(e.visual) {
-		return nil, fmt.Errorf("retrieval: query image %d out of range [0,%d)", query, len(e.visual))
+	ep := e.cur.Load()
+	if query < 0 || query >= len(ep.visual) {
+		return nil, fmt.Errorf("retrieval: query image %d out of range [0,%d)", query, len(ep.visual))
 	}
 	ctx := &core.QueryContext{
-		Visual:  e.visual,
+		Visual:  ep.visual,
 		Query:   query,
 		Workers: e.opts.Workers,
-		Batch:   e.batch,
+		Batch:   ep.batch,
 	}
 	scores, err := core.Euclidean{}.Rank(ctx)
 	if err != nil {
@@ -148,8 +222,8 @@ type Session struct {
 
 // StartSession begins a feedback session for the given query image.
 func (e *Engine) StartSession(query int) (*Session, error) {
-	if query < 0 || query >= len(e.visual) {
-		return nil, fmt.Errorf("retrieval: query image %d out of range [0,%d)", query, len(e.visual))
+	if n := e.NumImages(); query < 0 || query >= n {
+		return nil, fmt.Errorf("retrieval: query image %d out of range [0,%d)", query, n)
 	}
 	return &Session{engine: e, query: query, judgments: make(map[int]bool)}, nil
 }
@@ -159,8 +233,8 @@ func (s *Session) Query() int { return s.query }
 
 // Judge records the user's relevance judgment for an image.
 func (s *Session) Judge(image int, relevant bool) error {
-	if image < 0 || image >= s.engine.NumImages() {
-		return fmt.Errorf("retrieval: judged image %d out of range [0,%d)", image, s.engine.NumImages())
+	if n := s.engine.NumImages(); image < 0 || image >= n {
+		return fmt.Errorf("retrieval: judged image %d out of range [0,%d)", image, n)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -180,7 +254,9 @@ func (s *Session) NumJudgments() int {
 
 // Refine re-ranks the collection with the chosen scheme using the session's
 // judgments (and, for the log-based schemes, the engine's accumulated
-// feedback log) and returns the top-k results.
+// feedback log) and returns the top-k results. Each refinement ranks the
+// collection epoch current at call time, so results reflect images ingested
+// since the session started.
 func (s *Session) Refine(kind SchemeKind, k int) ([]Result, error) {
 	s.mu.Lock()
 	labeled := make([]core.LabeledExample, 0, len(s.judgments))
@@ -192,6 +268,13 @@ func (s *Session) Refine(kind SchemeKind, k int) ([]Result, error) {
 		labeled = append(labeled, core.LabeledExample{Index: img, Label: label})
 	}
 	s.mu.Unlock()
+	// Load the epoch only after collecting the judgments: each judgment was
+	// validated against the epoch current when it was recorded, epochs only
+	// grow, and the atomic publication order guarantees this later load sees
+	// an epoch at least that new — so every judged index is in range for ep.
+	// (Loading before the judgment read would race a concurrent Judge
+	// validated against a newer, larger epoch.)
+	ep := s.engine.cur.Load()
 	// Deterministic order of the labeled set regardless of map iteration.
 	sort.Slice(labeled, func(i, j int) bool { return labeled[i].Index < labeled[j].Index })
 
@@ -200,12 +283,12 @@ func (s *Session) Refine(kind SchemeKind, k int) ([]Result, error) {
 	}
 
 	ctx := &core.QueryContext{
-		Visual:     s.engine.visual,
-		LogVectors: s.engine.logColumns(),
+		Visual:     ep.visual,
+		LogVectors: s.engine.logColumns(ep),
 		Query:      s.query,
 		Labeled:    labeled,
 		Workers:    s.engine.opts.Workers,
-		Batch:      s.engine.batch,
+		Batch:      ep.batch,
 	}
 	scheme, err := s.engine.scheme(kind)
 	if err != nil {
@@ -244,7 +327,6 @@ func (s *Session) Commit() error {
 	if _, err := e.log.AddSession(feedbacklog.Session{QueryImage: s.query, Judgments: judgments}); err != nil {
 		return err
 	}
-	e.logDirty = true
 	s.committed = true
 	return nil
 }

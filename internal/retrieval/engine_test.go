@@ -165,7 +165,7 @@ func TestCommittedFeedbackInfluencesLogVectors(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Before any feedback the log vectors are empty.
-	if cols := e.logColumns(); cols[5].NNZ() != 0 {
+	if cols := e.logColumns(e.cur.Load()); cols[5].NNZ() != 0 {
 		t.Fatal("fresh engine has non-empty log vectors")
 	}
 	s, _ := e.StartSession(5)
@@ -178,7 +178,7 @@ func TestCommittedFeedbackInfluencesLogVectors(t *testing.T) {
 	if err := s.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	cols := e.logColumns()
+	cols := e.logColumns(e.cur.Load())
 	if cols[5].NNZ() != 1 || cols[5].At(0) != 1 {
 		t.Errorf("image 5 log vector = %v", cols[5].ToDense())
 	}

@@ -1,0 +1,288 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lrfcsvm/internal/feedbacklog"
+	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/retrieval"
+)
+
+// fakeClock is a test clock the server's Config.now hook can point at.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// lifecycleServer builds a server with a controllable clock and session
+// limits, returning the raw *Server so tests can sweep and close directly.
+func lifecycleServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *fakeClock) {
+	t.Helper()
+	rng := linalg.NewRNG(17)
+	var visual []linalg.Vector
+	for i := 0; i < 20; i++ {
+		visual = append(visual, linalg.Vector{rng.Normal(0, 1), rng.Normal(0, 1)})
+	}
+	engine, err := retrieval.NewEngine(visual, feedbacklog.NewLog(len(visual)), retrieval.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{t: time.Unix(1_000_000, 0)}
+	cfg.now = clock.Now
+	s := NewWithConfig(engine, cfg)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return s, srv, clock
+}
+
+func startSession(t *testing.T, url string, query int) int {
+	t.Helper()
+	var start StartSessionResponse
+	resp := postJSON(t, url+"/api/sessions", StartSessionRequest{Query: query}, &start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("start session: status %d", resp.StatusCode)
+	}
+	return start.SessionID
+}
+
+func TestAddImagesEndpoint(t *testing.T) {
+	_, srv, _ := lifecycleServer(t, Config{})
+	var status StatusResponse
+	getJSON(t, srv.URL+"/api/status", &status)
+
+	var added AddImagesResponse
+	resp := postJSON(t, srv.URL+"/api/images", AddImagesRequest{
+		Images: [][]float64{{0.5, -0.25}, {1.5, 2}},
+	}, &added)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add images: status %d", resp.StatusCode)
+	}
+	if added.First != status.Images || added.Added != 2 || added.Images != status.Images+2 {
+		t.Errorf("add images response = %+v (had %d images)", added, status.Images)
+	}
+
+	// The ingested images are immediately queryable.
+	var q QueryResponse
+	resp = getJSON(t, srv.URL+"/api/query?image=21&k=3", &q)
+	if resp.StatusCode != http.StatusOK || q.Results[0].Image != 21 {
+		t.Errorf("query of ingested image: status %d, response %+v", resp.StatusCode, q)
+	}
+	var after StatusResponse
+	getJSON(t, srv.URL+"/api/status", &after)
+	if after.Images != status.Images+2 || after.Dim != 2 {
+		t.Errorf("status after ingestion = %+v", after)
+	}
+}
+
+func TestAddImagesErrors(t *testing.T) {
+	_, srv, _ := lifecycleServer(t, Config{})
+	if resp := postJSON(t, srv.URL+"/api/images", AddImagesRequest{}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty ingestion: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/images", AddImagesRequest{Images: [][]float64{{1, 2, 3}}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong dimensionality: status %d", resp.StatusCode)
+	}
+	resp, err := http.Post(srv.URL+"/api/images", "application/json", bytes.NewReader([]byte("{broken")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/api/images", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on images: status %d", resp.StatusCode)
+	}
+}
+
+func TestJudgeAndRefineAfterCommitReturnNotFound(t *testing.T) {
+	_, srv, _ := lifecycleServer(t, Config{})
+	id := startSession(t, srv.URL, 3)
+	judge := JudgeRequest{SessionID: id}
+	judge.Judgments = append(judge.Judgments, struct {
+		Image    int  `json:"image"`
+		Relevant bool `json:"relevant"`
+	}{Image: 3, Relevant: true})
+	if resp := postJSON(t, srv.URL+"/api/sessions/judge", judge, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("judge: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/sessions/commit", CommitRequest{SessionID: id}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit: status %d", resp.StatusCode)
+	}
+	// The committed session is dropped from the table: every further
+	// operation on it reports it gone.
+	if resp := postJSON(t, srv.URL+"/api/sessions/judge", judge, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("judge after commit: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: id}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("refine after commit: status %d", resp.StatusCode)
+	}
+}
+
+func TestRefineWithoutJudgmentsRejected(t *testing.T) {
+	_, srv, _ := lifecycleServer(t, Config{})
+	id := startSession(t, srv.URL, 0)
+	resp := postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: id, Scheme: "rf-svm"}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("refine without judgments: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/sessions/commit", CommitRequest{SessionID: id}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("commit without judgments: status %d", resp.StatusCode)
+	}
+}
+
+func TestSessionTTLEviction(t *testing.T) {
+	s, srv, clock := lifecycleServer(t, Config{SessionTTL: time.Minute})
+	stale := startSession(t, srv.URL, 1)
+	clock.Advance(30 * time.Second)
+	fresh := startSession(t, srv.URL, 2)
+	clock.Advance(45 * time.Second) // stale is now 75s idle, fresh 45s
+
+	if evicted := s.Sweep(); evicted != 1 {
+		t.Fatalf("swept %d sessions, want 1", evicted)
+	}
+	if resp := postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: stale}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted session refine: status %d", resp.StatusCode)
+	}
+	var status StatusResponse
+	getJSON(t, srv.URL+"/api/status", &status)
+	if status.ActiveSessions != 1 {
+		t.Errorf("active sessions = %d, want 1", status.ActiveSessions)
+	}
+	// Touching the fresh session keeps renewing its TTL.
+	clock.Advance(40 * time.Second)
+	judge := JudgeRequest{SessionID: fresh}
+	judge.Judgments = append(judge.Judgments, struct {
+		Image    int  `json:"image"`
+		Relevant bool `json:"relevant"`
+	}{Image: 2, Relevant: true})
+	if resp := postJSON(t, srv.URL+"/api/sessions/judge", judge, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("fresh session judge: status %d", resp.StatusCode)
+	}
+	clock.Advance(50 * time.Second)
+	if evicted := s.Sweep(); evicted != 0 {
+		t.Errorf("swept %d sessions after touch, want 0", evicted)
+	}
+}
+
+func TestMaxSessionsEvictsLRU(t *testing.T) {
+	s, srv, clock := lifecycleServer(t, Config{MaxSessions: 2})
+	a := startSession(t, srv.URL, 0)
+	clock.Advance(time.Second)
+	b := startSession(t, srv.URL, 1)
+	clock.Advance(time.Second)
+	// Touch a so b becomes the LRU entry.
+	if resp := postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: a, Scheme: "euclidean"}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("touch session a: status %d", resp.StatusCode)
+	}
+	clock.Advance(time.Second)
+	c := startSession(t, srv.URL, 2)
+
+	if got := s.numSessions(); got != 2 {
+		t.Fatalf("live sessions = %d, want 2", got)
+	}
+	if resp := postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: b, Scheme: "euclidean"}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("LRU session b survived: status %d", resp.StatusCode)
+	}
+	for _, id := range []int{a, c} {
+		if resp := postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: id, Scheme: "euclidean"}, nil); resp.StatusCode != http.StatusOK {
+			t.Errorf("session %d: status %d", id, resp.StatusCode)
+		}
+	}
+}
+
+func TestClosedServerRejectsRequests(t *testing.T) {
+	s, srv, _ := lifecycleServer(t, Config{})
+	id := startSession(t, srv.URL, 0)
+	s.Close()
+	s.Close() // idempotent
+
+	if resp := getJSON(t, srv.URL+"/api/status", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status after close: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/api/query?image=0", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("query after close: %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: id}, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("refine after close: %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/images", AddImagesRequest{Images: [][]float64{{1, 2}}}, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("ingest after close: %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentAPITraffic drives every endpoint concurrently — ingestion,
+// queries and full feedback rounds — to cover the server's table locking and
+// the engine's epoch handoff under HTTP-shaped load (run with -race).
+func TestConcurrentAPITraffic(t *testing.T) {
+	_, srv, _ := lifecycleServer(t, Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				var added AddImagesResponse
+				if resp := postJSON(t, srv.URL+"/api/images", AddImagesRequest{
+					Images: [][]float64{{float64(g), float64(i)}},
+				}, &added); resp.StatusCode != http.StatusOK {
+					t.Errorf("ingest: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				id := startSession(t, srv.URL, (g+i)%20)
+				judge := JudgeRequest{SessionID: id}
+				judge.Judgments = append(judge.Judgments, struct {
+					Image    int  `json:"image"`
+					Relevant bool `json:"relevant"`
+				}{Image: (g + i) % 20, Relevant: true})
+				if resp := postJSON(t, srv.URL+"/api/sessions/judge", judge, nil); resp.StatusCode != http.StatusOK {
+					t.Errorf("judge: status %d", resp.StatusCode)
+					return
+				}
+				if resp := postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: id, Scheme: "lrf-csvm", K: 5}, nil); resp.StatusCode != http.StatusOK {
+					t.Errorf("refine: status %d", resp.StatusCode)
+					return
+				}
+				if resp := postJSON(t, srv.URL+"/api/sessions/commit", CommitRequest{SessionID: id}, nil); resp.StatusCode != http.StatusOK {
+					t.Errorf("commit: status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var status StatusResponse
+	getJSON(t, srv.URL+"/api/status", &status)
+	if status.Images != 20+15 || status.LogSessions != 12 || status.ActiveSessions != 0 {
+		t.Errorf("final status = %+v", status)
+	}
+}

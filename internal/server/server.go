@@ -1,53 +1,250 @@
 // Package server exposes the retrieval engine over a small JSON HTTP API so
 // the CBIR system can be driven interactively: issue a query, judge results,
-// refine with any relevance-feedback scheme, and commit the round into the
-// long-term feedback log.
+// refine with any relevance-feedback scheme, commit the round into the
+// long-term feedback log, and ingest new images into the live collection.
 //
 // Endpoints:
 //
 //	GET  /api/status                      -> collection and log statistics
 //	GET  /api/query?image=ID&k=K          -> initial (Euclidean) results
+//	POST /api/images                      -> ingest images into the collection
 //	POST /api/sessions                    -> start a feedback session
 //	POST /api/sessions/judge              -> record judgments
 //	POST /api/sessions/refine             -> re-rank with a scheme
 //	POST /api/sessions/commit             -> append the round to the log
+//
+// The server is built for sustained traffic: feedback sessions are evicted
+// after an idle TTL (default 30 minutes) and capped at a maximum live count
+// (default 16384, least-recently-used first), so abandoned sessions cannot
+// accumulate without bound. Close shuts the server down gracefully.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"lrfcsvm/internal/linalg"
 	"lrfcsvm/internal/retrieval"
 )
 
-// Server wraps a retrieval engine with an HTTP API. Create one with New and
-// mount it via Handler.
-type Server struct {
-	engine *retrieval.Engine
+// Config tunes the server's session lifecycle management. The zero value
+// selects the defaults.
+type Config struct {
+	// SessionTTL is how long an idle (not judged, refined or committed)
+	// session survives before eviction; <=0 selects 30 minutes.
+	SessionTTL time.Duration
+	// MaxSessions caps the number of live sessions; when a new session would
+	// exceed it, the least recently used session is evicted. <=0 selects
+	// 16384.
+	MaxSessions int
 
-	mu       sync.Mutex
-	nextID   int
-	sessions map[int]*retrieval.Session
+	// now overrides the clock; package tests use it to drive TTL eviction
+	// deterministically. Nil selects time.Now.
+	now func() time.Time
 }
 
-// New creates a server around an engine.
+// Defaults for Config's zero values.
+const (
+	DefaultSessionTTL  = 30 * time.Minute
+	DefaultMaxSessions = 16384
+)
+
+func (c Config) withDefaults() Config {
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = DefaultSessionTTL
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// sessionEntry tracks one live session. The last-use timestamp is atomic so
+// concurrent requests touching the same or different sessions never contend
+// on the server's table lock longer than the map lookup itself; all
+// per-session state transitions are guarded by the session's own lock inside
+// retrieval.Session.
+type sessionEntry struct {
+	session  *retrieval.Session
+	lastUsed atomic.Int64 // unix nanoseconds
+}
+
+// Server wraps a retrieval engine with an HTTP API. Create one with New and
+// mount it via Handler; call Close when done to stop the session sweeper and
+// drop live sessions.
+type Server struct {
+	engine *retrieval.Engine
+	cfg    Config
+	now    func() time.Time // from Config; time.Now unless a test injects one
+
+	mu       sync.RWMutex // guards the table only, never held across engine calls
+	nextID   int
+	sessions map[int]*sessionEntry
+
+	closed    atomic.Bool
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// New creates a server around an engine with the default session lifecycle
+// configuration.
 func New(engine *retrieval.Engine) *Server {
-	return &Server{engine: engine, nextID: 1, sessions: make(map[int]*retrieval.Session)}
+	return NewWithConfig(engine, Config{})
+}
+
+// NewWithConfig creates a server around an engine. It starts a background
+// sweeper that evicts sessions idle past the TTL; Close stops it.
+func NewWithConfig(engine *retrieval.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		engine:   engine,
+		cfg:      cfg,
+		now:      cfg.now,
+		nextID:   1,
+		sessions: make(map[int]*sessionEntry),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.sweeper()
+	return s
+}
+
+// Close shuts the server down: the TTL sweeper is stopped, live sessions are
+// dropped, and subsequent API requests are rejected with 503. Close is
+// idempotent and safe to call concurrently with requests; uncommitted
+// judgments are lost (the long-term log only ever receives committed
+// rounds).
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.stop)
+		<-s.done
+		s.mu.Lock()
+		s.sessions = make(map[int]*sessionEntry)
+		s.mu.Unlock()
+	})
+}
+
+// sweeper periodically evicts idle sessions until Close.
+func (s *Server) sweeper() {
+	defer close(s.done)
+	interval := s.cfg.SessionTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Sweep()
+		}
+	}
+}
+
+// Sweep evicts every session idle past the TTL and returns how many were
+// evicted. The background sweeper calls it periodically; it is exported so
+// operators (and tests) can force a pass.
+func (s *Server) Sweep() int {
+	cutoff := s.now().Add(-s.cfg.SessionTTL).UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted := 0
+	for id, ent := range s.sessions {
+		if ent.lastUsed.Load() < cutoff {
+			delete(s.sessions, id)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// addSession registers a session, evicting least-recently-used entries when
+// the table is full, and returns its ID.
+func (s *Server) addSession(session *retrieval.Session) int {
+	now := s.now().UnixNano()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.sessions) >= s.cfg.MaxSessions {
+		lruID, lru := 0, int64(math.MaxInt64)
+		for id, ent := range s.sessions {
+			if v := ent.lastUsed.Load(); v < lru {
+				lruID, lru = id, v
+			}
+		}
+		delete(s.sessions, lruID)
+	}
+	id := s.nextID
+	s.nextID++
+	ent := &sessionEntry{session: session}
+	ent.lastUsed.Store(now)
+	s.sessions[id] = ent
+	return id
+}
+
+// session looks a session up and marks it used.
+func (s *Server) session(id int) (*retrieval.Session, bool) {
+	s.mu.RLock()
+	ent, ok := s.sessions[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	ent.lastUsed.Store(s.now().UnixNano())
+	return ent.session, true
+}
+
+// dropSession removes a session from the table (after commit).
+func (s *Server) dropSession(id int) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+}
+
+// numSessions returns the live session count.
+func (s *Server) numSessions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
 }
 
 // Handler returns the HTTP handler with all API routes mounted.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/status", s.handleStatus)
-	mux.HandleFunc("/api/query", s.handleQuery)
-	mux.HandleFunc("/api/sessions", s.handleStartSession)
-	mux.HandleFunc("/api/sessions/judge", s.handleJudge)
-	mux.HandleFunc("/api/sessions/refine", s.handleRefine)
-	mux.HandleFunc("/api/sessions/commit", s.handleCommit)
+	mux.HandleFunc("/api/status", s.guard(s.handleStatus))
+	mux.HandleFunc("/api/query", s.guard(s.handleQuery))
+	mux.HandleFunc("/api/images", s.guard(s.handleAddImages))
+	mux.HandleFunc("/api/sessions", s.guard(s.handleStartSession))
+	mux.HandleFunc("/api/sessions/judge", s.guard(s.handleJudge))
+	mux.HandleFunc("/api/sessions/refine", s.guard(s.handleRefine))
+	mux.HandleFunc("/api/sessions/commit", s.guard(s.handleCommit))
 	return mux
+}
+
+// guard rejects requests once the server is closed.
+func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.closed.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		h(w, r)
+	}
 }
 
 type errorResponse struct {
@@ -68,8 +265,10 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 
 // StatusResponse is the payload of GET /api/status.
 type StatusResponse struct {
-	Images      int `json:"images"`
-	LogSessions int `json:"log_sessions"`
+	Images         int `json:"images"`
+	Dim            int `json:"dim"`
+	LogSessions    int `json:"log_sessions"`
+	ActiveSessions int `json:"active_sessions"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -78,8 +277,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, StatusResponse{
-		Images:      s.engine.NumImages(),
-		LogSessions: s.engine.NumLogSessions(),
+		Images:         s.engine.NumImages(),
+		Dim:            s.engine.Dim(),
+		LogSessions:    s.engine.NumLogSessions(),
+		ActiveSessions: s.numSessions(),
 	})
 }
 
@@ -128,6 +329,53 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, QueryResponse{Query: image, Results: toResultJSON(results)})
 }
 
+// AddImagesRequest is the payload of POST /api/images: the visual
+// descriptors of the images to ingest, one row per image, all matching the
+// collection's dimensionality.
+type AddImagesRequest struct {
+	Images [][]float64 `json:"images"`
+}
+
+// AddImagesResponse reports where the ingested images landed.
+type AddImagesResponse struct {
+	// First is the collection index assigned to the first ingested image;
+	// the rest follow contiguously.
+	First int `json:"first"`
+	Added int `json:"added"`
+	// Images is the new collection size.
+	Images int `json:"images"`
+}
+
+func (s *Server) handleAddImages(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req AddImagesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if len(req.Images) == 0 {
+		writeError(w, http.StatusBadRequest, "no images to add")
+		return
+	}
+	descriptors := make([]linalg.Vector, len(req.Images))
+	for i, d := range req.Images {
+		descriptors[i] = linalg.Vector(d)
+	}
+	first, err := s.engine.AddImages(descriptors)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AddImagesResponse{
+		First:  first,
+		Added:  len(descriptors),
+		Images: s.engine.NumImages(),
+	})
+}
+
 // StartSessionRequest is the payload of POST /api/sessions.
 type StartSessionRequest struct {
 	Query int `json:"query"`
@@ -153,19 +401,7 @@ func (s *Server) handleStartSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	id := s.nextID
-	s.nextID++
-	s.sessions[id] = session
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, StartSessionResponse{SessionID: id})
-}
-
-func (s *Server) session(id int) (*retrieval.Session, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	session, ok := s.sessions[id]
-	return session, ok
+	writeJSON(w, http.StatusOK, StartSessionResponse{SessionID: s.addSession(session)})
 }
 
 // JudgeRequest is the payload of POST /api/sessions/judge.
@@ -194,7 +430,7 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 	}
 	session, ok := s.session(req.SessionID)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %d", req.SessionID)
+		writeError(w, http.StatusNotFound, "unknown or expired session %d", req.SessionID)
 		return
 	}
 	for _, j := range req.Judgments {
@@ -231,7 +467,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	}
 	session, ok := s.session(req.SessionID)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %d", req.SessionID)
+		writeError(w, http.StatusNotFound, "unknown or expired session %d", req.SessionID)
 		return
 	}
 	if req.K <= 0 {
@@ -275,15 +511,13 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	}
 	session, ok := s.session(req.SessionID)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session %d", req.SessionID)
+		writeError(w, http.StatusNotFound, "unknown or expired session %d", req.SessionID)
 		return
 	}
 	if err := session.Commit(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	delete(s.sessions, req.SessionID)
-	s.mu.Unlock()
+	s.dropSession(req.SessionID)
 	writeJSON(w, http.StatusOK, CommitResponse{LogSessions: s.engine.NumLogSessions()})
 }

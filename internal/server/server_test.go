@@ -33,8 +33,12 @@ func testServer(t *testing.T) (*httptest.Server, []int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(New(engine).Handler())
-	t.Cleanup(srv.Close)
+	s := New(engine)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
 	return srv, labels
 }
 

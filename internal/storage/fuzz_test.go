@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"lrfcsvm/internal/feedbacklog"
+	"lrfcsvm/internal/linalg"
+)
+
+// fuzzLogBytes encodes a small valid log store for the seed corpus.
+func fuzzLogBytes(f *testing.F) []byte {
+	f.Helper()
+	log := feedbacklog.NewLog(8)
+	sessions := []map[int]feedbacklog.Judgment{
+		{0: feedbacklog.Relevant, 3: feedbacklog.Irrelevant},
+		{7: feedbacklog.Relevant, 1: feedbacklog.Relevant, 2: feedbacklog.Irrelevant},
+	}
+	for i, j := range sessions {
+		if _, err := log.AddSession(feedbacklog.Session{QueryImage: i, TargetCategory: i, Judgments: j}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, log); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func logsEquivalent(a, b *feedbacklog.Log) bool {
+	if a.NumImages() != b.NumImages() || a.NumSessions() != b.NumSessions() {
+		return false
+	}
+	for i, sa := range a.Sessions() {
+		sb := b.Sessions()[i]
+		if sa.QueryImage != sb.QueryImage || sa.TargetCategory != sb.TargetCategory || len(sa.Judgments) != len(sb.Judgments) {
+			return false
+		}
+		for img, j := range sa.Judgments {
+			if sb.Judgments[img] != j {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzLogRoundTrip feeds arbitrary bytes to the log decoder: decoding must
+// never panic, and whatever decodes successfully must survive a
+// write-and-reread round trip unchanged.
+func FuzzLogRoundTrip(f *testing.F) {
+	valid := fuzzLogBytes(f)
+	f.Add(valid)
+	truncated := valid[:len(valid)-5]
+	f.Add(truncated)
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] ^= 0x20
+	f.Add(corrupt)
+	f.Add([]byte("LRFC junk"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := ReadLog(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, log); err != nil {
+			t.Fatalf("re-encode decoded log: %v", err)
+		}
+		again, err := ReadLog(&buf)
+		if err != nil {
+			t.Fatalf("re-read encoded log: %v", err)
+		}
+		if !logsEquivalent(log, again) {
+			t.Fatal("log changed across a write/read round trip")
+		}
+	})
+}
+
+// FuzzSnapshotRoundTrip is the same property for the combined engine
+// snapshot store.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	log := feedbacklog.NewLog(3)
+	if _, err := log.AddSession(feedbacklog.Session{QueryImage: 1, Judgments: map[int]feedbacklog.Judgment{0: feedbacklog.Relevant, 2: feedbacklog.Irrelevant}}); err != nil {
+		f.Fatal(err)
+	}
+	visual := []linalg.Vector{{1.5, -2}, {0, 0.25}, {3, 4}}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, visual, log); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[12] ^= 0x01
+	f.Add(corrupt)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		visual, log, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, visual, log); err != nil {
+			t.Fatalf("re-encode decoded snapshot: %v", err)
+		}
+		visual2, log2, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatalf("re-read encoded snapshot: %v", err)
+		}
+		if len(visual2) != len(visual) || !logsEquivalent(log, log2) {
+			t.Fatal("snapshot changed across a write/read round trip")
+		}
+		for i := range visual {
+			if len(visual[i]) != len(visual2[i]) {
+				t.Fatalf("descriptor %d changed length across a round trip", i)
+			}
+			for j := range visual[i] {
+				// Bit-level comparison so NaN payloads in fuzzed input do
+				// not trip the float comparison.
+				if math.Float64bits(visual[i][j]) != math.Float64bits(visual2[i][j]) {
+					t.Fatalf("descriptor %d changed across a round trip", i)
+				}
+			}
+		}
+	})
+}

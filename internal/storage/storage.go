@@ -1,7 +1,10 @@
 // Package storage provides the on-disk persistence layer of the CBIR
-// system: record-oriented binary stores for visual feature vectors and for
-// user-feedback log sessions, with CRC32-checksummed records so that partial
-// writes and corruption are detected at load time.
+// system: record-oriented binary stores for visual feature vectors, for
+// user-feedback log sessions, and for combined engine snapshots (the
+// visual collection plus the log in one self-contained file, so a live
+// engine that has ingested images and accumulated feedback can be persisted
+// and reloaded), with CRC32-checksummed records so that partial writes and
+// corruption are detected at load time.
 //
 // The format is deliberately simple and append-friendly:
 //
@@ -22,6 +25,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"lrfcsvm/internal/feedbacklog"
 	"lrfcsvm/internal/linalg"
@@ -31,6 +35,7 @@ import (
 const (
 	KindFeatures uint16 = 1
 	KindLog      uint16 = 2
+	KindSnapshot uint16 = 3
 )
 
 // formatVersion is bumped whenever the payload encoding changes.
@@ -217,25 +222,52 @@ func WriteLog(w io.Writer, log *feedbacklog.Log) error {
 		return err
 	}
 	for _, s := range log.Sessions() {
-		// Deterministic judgment order.
-		imgs := make([]int, 0, len(s.Judgments))
-		for img := range s.Judgments {
-			imgs = append(imgs, img)
-		}
-		sortInts(imgs)
-		payload := make([]byte, 12+8*len(imgs))
-		binary.LittleEndian.PutUint32(payload[0:4], uint32(s.QueryImage))
-		binary.LittleEndian.PutUint32(payload[4:8], uint32(int32(s.TargetCategory)))
-		binary.LittleEndian.PutUint32(payload[8:12], uint32(len(imgs)))
-		for i, img := range imgs {
-			binary.LittleEndian.PutUint32(payload[12+8*i:], uint32(img))
-			binary.LittleEndian.PutUint32(payload[16+8*i:], uint32(int32(s.Judgments[img])))
-		}
-		if err := writeRecord(bw, payload); err != nil {
+		if err := writeRecord(bw, encodeSession(s)); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// encodeSession serializes one log session: query(u32) category(i32)
+// count(u32) then count pairs of image(u32) judgment(i8, padded to i32).
+// Judgments are written in ascending image order so the encoding is
+// deterministic.
+func encodeSession(s feedbacklog.Session) []byte {
+	imgs := make([]int, 0, len(s.Judgments))
+	for img := range s.Judgments {
+		imgs = append(imgs, img)
+	}
+	sortInts(imgs)
+	payload := make([]byte, 12+8*len(imgs))
+	binary.LittleEndian.PutUint32(payload[0:4], uint32(s.QueryImage))
+	binary.LittleEndian.PutUint32(payload[4:8], uint32(int32(s.TargetCategory)))
+	binary.LittleEndian.PutUint32(payload[8:12], uint32(len(imgs)))
+	for i, img := range imgs {
+		binary.LittleEndian.PutUint32(payload[12+8*i:], uint32(img))
+		binary.LittleEndian.PutUint32(payload[16+8*i:], uint32(int32(s.Judgments[img])))
+	}
+	return payload
+}
+
+// decodeSession parses a session payload written by encodeSession.
+func decodeSession(payload []byte) (feedbacklog.Session, error) {
+	if len(payload) < 12 {
+		return feedbacklog.Session{}, fmt.Errorf("%w: log record too short", ErrCorrupt)
+	}
+	query := int(binary.LittleEndian.Uint32(payload[0:4]))
+	category := int(int32(binary.LittleEndian.Uint32(payload[4:8])))
+	count := int(binary.LittleEndian.Uint32(payload[8:12]))
+	if len(payload) != 12+8*count {
+		return feedbacklog.Session{}, fmt.Errorf("%w: log record size mismatch", ErrCorrupt)
+	}
+	judgments := make(map[int]feedbacklog.Judgment, count)
+	for i := 0; i < count; i++ {
+		img := int(binary.LittleEndian.Uint32(payload[12+8*i:]))
+		j := feedbacklog.Judgment(int32(binary.LittleEndian.Uint32(payload[16+8*i:])))
+		judgments[img] = j
+	}
+	return feedbacklog.Session{QueryImage: query, TargetCategory: category, Judgments: judgments}, nil
 }
 
 // ReadLog reads a feedback log written by WriteLog.
@@ -264,26 +296,11 @@ func ReadLog(r io.Reader) (*feedbacklog.Log, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(payload) < 12 {
-			return nil, fmt.Errorf("%w: log record too short", ErrCorrupt)
+		session, err := decodeSession(payload)
+		if err != nil {
+			return nil, err
 		}
-		query := int(binary.LittleEndian.Uint32(payload[0:4]))
-		category := int(int32(binary.LittleEndian.Uint32(payload[4:8])))
-		count := int(binary.LittleEndian.Uint32(payload[8:12]))
-		if len(payload) != 12+8*count {
-			return nil, fmt.Errorf("%w: log record size mismatch", ErrCorrupt)
-		}
-		judgments := make(map[int]feedbacklog.Judgment, count)
-		for i := 0; i < count; i++ {
-			img := int(binary.LittleEndian.Uint32(payload[12+8*i:]))
-			j := feedbacklog.Judgment(int32(binary.LittleEndian.Uint32(payload[16+8*i:])))
-			judgments[img] = j
-		}
-		if _, err := log.AddSession(feedbacklog.Session{
-			QueryImage:     query,
-			TargetCategory: category,
-			Judgments:      judgments,
-		}); err != nil {
+		if _, err := log.AddSession(session); err != nil {
 			return nil, fmt.Errorf("storage: rebuild log: %w", err)
 		}
 	}
@@ -310,6 +327,164 @@ func LoadLog(path string) (*feedbacklog.Log, error) {
 	}
 	defer f.Close()
 	return ReadLog(f)
+}
+
+// WriteSnapshot writes one self-contained engine snapshot to w: the visual
+// descriptor of every image followed by every feedback-log session, the two
+// halves a live engine needs to be reconstructed after ingesting images and
+// collecting feedback (see retrieval.Engine.Snapshot). The log must cover
+// exactly the given collection.
+//
+// Layout after the file header: a meta record images(u32) dim(u32)
+// sessions(u32), then one record of dim float64 per image, then one session
+// record per log session (encoding as in WriteLog).
+func WriteSnapshot(w io.Writer, visual []linalg.Vector, log *feedbacklog.Log) error {
+	if len(visual) == 0 {
+		return fmt.Errorf("storage: snapshot of an empty collection")
+	}
+	if log == nil {
+		return fmt.Errorf("storage: snapshot without a log")
+	}
+	if log.NumImages() != len(visual) {
+		return fmt.Errorf("storage: snapshot log covers %d images, collection has %d", log.NumImages(), len(visual))
+	}
+	dim := len(visual[0])
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, KindSnapshot); err != nil {
+		return err
+	}
+	var meta [12]byte
+	binary.LittleEndian.PutUint32(meta[0:4], uint32(len(visual)))
+	binary.LittleEndian.PutUint32(meta[4:8], uint32(dim))
+	binary.LittleEndian.PutUint32(meta[8:12], uint32(log.NumSessions()))
+	if err := writeRecord(bw, meta[:]); err != nil {
+		return err
+	}
+	for i, v := range visual {
+		if len(v) != dim {
+			return fmt.Errorf("storage: descriptor %d has dimension %d, want %d", i, len(v), dim)
+		}
+		payload := make([]byte, 8*dim)
+		for j, x := range v {
+			binary.LittleEndian.PutUint64(payload[8*j:], math.Float64bits(x))
+		}
+		if err := writeRecord(bw, payload); err != nil {
+			return err
+		}
+	}
+	for _, s := range log.Sessions() {
+		if err := writeRecord(bw, encodeSession(s)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot reads an engine snapshot written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) ([]linalg.Vector, *feedbacklog.Log, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, KindSnapshot); err != nil {
+		return nil, nil, err
+	}
+	meta, err := readRecord(br, maxRecordLen)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: read snapshot meta record: %w", err)
+	}
+	if len(meta) != 12 {
+		return nil, nil, fmt.Errorf("%w: bad snapshot meta record", ErrCorrupt)
+	}
+	images := int(binary.LittleEndian.Uint32(meta[0:4]))
+	dim := int(binary.LittleEndian.Uint32(meta[4:8]))
+	sessions := int(binary.LittleEndian.Uint32(meta[8:12]))
+	if images <= 0 || dim <= 0 || uint32(dim) > maxRecordLen/8 {
+		return nil, nil, fmt.Errorf("%w: implausible snapshot shape %dx%d", ErrCorrupt, images, dim)
+	}
+	// Cap the preallocation: the image count is untrusted until the records
+	// actually arrive, and each one costs at least a record header.
+	prealloc := images
+	if prealloc > 4096 {
+		prealloc = 4096
+	}
+	visual := make([]linalg.Vector, 0, prealloc)
+	for i := 0; i < images; i++ {
+		payload, err := readRecord(br, maxRecordLen)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: truncated snapshot collection", ErrCorrupt)
+		}
+		if len(payload) != 8*dim {
+			return nil, nil, fmt.Errorf("%w: snapshot descriptor size mismatch", ErrCorrupt)
+		}
+		vec := make(linalg.Vector, dim)
+		for j := range vec {
+			vec[j] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*j:]))
+		}
+		visual = append(visual, vec)
+	}
+	log := feedbacklog.NewLog(images)
+	for i := 0; i < sessions; i++ {
+		payload, err := readRecord(br, maxRecordLen)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: truncated snapshot log", ErrCorrupt)
+		}
+		session, err := decodeSession(payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := log.AddSession(session); err != nil {
+			return nil, nil, fmt.Errorf("storage: rebuild snapshot log: %w", err)
+		}
+	}
+	if _, err := readRecord(br, maxRecordLen); err != io.EOF {
+		return nil, nil, fmt.Errorf("%w: trailing data after snapshot", ErrCorrupt)
+	}
+	return visual, log, nil
+}
+
+// SaveSnapshot writes an engine snapshot to the named file atomically: the
+// snapshot is staged to a temporary file in the same directory and renamed
+// over the destination, so a crash mid-write never destroys the previous
+// snapshot.
+func SaveSnapshot(path string, visual []linalg.Vector, log *feedbacklog.Log) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must stage in the current directory, not in
+		// os.TempDir (often a different filesystem, where the rename would
+		// fail with EXDEV).
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("storage: stage snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteSnapshot(tmp, visual, log); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Flush to stable storage before the rename: otherwise a power loss
+	// could install a snapshot whose data never hit the disk, destroying
+	// the previous good one.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("storage: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("storage: install snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot reads an engine snapshot from the named file.
+func LoadSnapshot(path string) ([]linalg.Vector, *feedbacklog.Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
 }
 
 // sortInts is a tiny insertion sort; session judgment lists are ~20 entries,
