@@ -273,3 +273,38 @@ func BenchmarkRFSVMQuery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkQueryTopK measures one full query per scheme through the
+// streaming top-K path at the server's default page size (K=20), with a
+// recycled result buffer — the steady-state serving pattern. Allocation
+// statistics are reported; EXPERIMENTS.md and BENCH_query.json track them
+// across PRs (the pure ranking-stage comparison lives in
+// internal/core's BenchmarkRankingPath* and cmd/lrfbench -benchquery).
+func BenchmarkQueryTopK(b *testing.B) {
+	exp := prepareBench(b, eval.CI20(42))
+	query := exp.SampleQueries()[0]
+	for _, tc := range []struct {
+		name   string
+		scheme core.TopKRanker
+	}{
+		{"euclidean", core.Euclidean{}},
+		{"rf-svm", core.RFSVM{}},
+		{"lrf-2svms", core.LRF2SVMs{}},
+		{"lrf-csvm", core.LRFCSVM{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ctx := exp.QueryContext(query)
+			ctx.Workers = 1
+			buf := make([]core.Ranked, 0, 20)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := tc.scheme.RankTopAppend(ctx, 20, buf[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = got
+			}
+		})
+	}
+}

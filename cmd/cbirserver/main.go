@@ -43,6 +43,9 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		sessionTTL   = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle feedback sessions are evicted after this long")
 		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "cap on live feedback sessions (LRU eviction beyond it)")
+		shardSize    = flag.Int("shard-size", 0, "collection shard capacity of the scoring path (0 = library default; rankings are identical for every value)")
+		defaultK     = flag.Int("default-k", server.DefaultResultK, "result-list length when a request omits k")
+		maxK         = flag.Int("max-k", server.DefaultMaxK, "hard cap on the result-list length of any request")
 	)
 	flag.Parse()
 
@@ -51,12 +54,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cbirserver:", err)
 		os.Exit(1)
 	}
-	engine, err := retrieval.NewEngine(visual, fblog, retrieval.Options{})
+	engine, err := retrieval.NewEngine(visual, fblog, retrieval.Options{ShardSize: *shardSize})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbirserver:", err)
 		os.Exit(1)
 	}
-	srv := server.NewWithConfig(engine, server.Config{SessionTTL: *sessionTTL, MaxSessions: *maxSessions})
+	srv := server.NewWithConfig(engine, server.Config{
+		SessionTTL:  *sessionTTL,
+		MaxSessions: *maxSessions,
+		DefaultK:    *defaultK,
+		MaxK:        *maxK,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	stop := make(chan os.Signal, 1)
@@ -85,7 +93,7 @@ func main() {
 		}
 	}()
 
-	log.Printf("cbirserver: serving %d images (%d log sessions) on %s", engine.NumImages(), engine.NumLogSessions(), *addr)
+	log.Printf("cbirserver: serving %d images in %d shards (%d log sessions) on %s", engine.NumImages(), engine.NumShards(), engine.NumLogSessions(), *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("cbirserver: %v", err)
 	}

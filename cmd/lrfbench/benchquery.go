@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"lrfcsvm/internal/core"
+	"lrfcsvm/internal/eval"
+	"lrfcsvm/internal/linalg"
+)
+
+// This file is the query-path micro-benchmark mode of lrfbench
+// (-benchquery): it measures the steady-state query hot path — the
+// score-everything-then-argsort pattern the engine used before the sharded
+// refactor versus the streaming per-shard top-K selection with pooled
+// scratch memory — with -benchmem-style statistics (ns/op, B/op,
+// allocs/op), prints them, and emits a machine-readable BENCH_query.json so
+// the performance trajectory is tracked across PRs.
+
+// benchQueryK is the result-list length of the measured queries, the
+// server's default page size.
+const benchQueryK = 20
+
+// benchEntry is one measured benchmark in BENCH_query.json.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is the BENCH_query.json document.
+type benchReport struct {
+	Profile    string       `json:"profile"`
+	Images     int          `json:"images"`
+	K          int          `json:"k"`
+	Workers    int          `json:"workers"`
+	GoVersion  string       `json:"go_version"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+	// Summary condenses the acceptance numbers: the allocation and latency
+	// ratio of the pure ranking path (full-argsort / streaming).
+	Summary struct {
+		RankingPathAllocRatio float64 `json:"ranking_path_alloc_ratio"`
+		RankingPathSpeedup    float64 `json:"ranking_path_speedup"`
+	} `json:"summary"`
+}
+
+// fullSortSelect replicates the pre-refactor selection: a full stable
+// descending argsort truncated to k, materialized as results.
+func fullSortSelect(scores []float64, k int) []core.Ranked {
+	order := linalg.ArgsortDesc(scores)
+	if k > len(order) {
+		k = len(order)
+	}
+	out := make([]core.Ranked, k)
+	for i := 0; i < k; i++ {
+		out[i] = core.Ranked{Index: order[i], Score: scores[order[i]]}
+	}
+	return out
+}
+
+// measure runs one benchmark function and records it.
+func measure(report *benchReport, name string, fn func(b *testing.B)) benchEntry {
+	res := testing.Benchmark(fn)
+	e := benchEntry{
+		Name:        name,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	report.Benchmarks = append(report.Benchmarks, e)
+	fmt.Printf("  %-38s %12.0f ns/op %10d B/op %8d allocs/op\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	return e
+}
+
+// runQueryBench measures the query paths on the prepared experiment and
+// writes the JSON report to outPath.
+func runQueryBench(exp *eval.Experiment, profile, outPath string) error {
+	report := &benchReport{
+		Profile:   profile,
+		Images:    len(exp.Visual),
+		K:         benchQueryK,
+		Workers:   1,
+		GoVersion: runtime.Version(),
+	}
+	queries := exp.SampleQueries()
+	probes := queries
+	if len(probes) > 6 {
+		probes = probes[:6]
+	}
+	fixedCtx := func() *core.QueryContext {
+		ctx := exp.QueryContext(queries[0])
+		ctx.Workers = 1
+		return ctx
+	}
+
+	fmt.Printf("query-path benchmarks (%d images, K=%d, Workers=1):\n", report.Images, benchQueryK)
+
+	// The pure ranking path (no per-round training): Euclidean probes
+	// rotating across query images, so every operation pays the real
+	// steady-state cost of serving a new user instead of a warm
+	// distance-row cache. This pair is the allocs/op acceptance comparison.
+	full := measure(report, "ranking-path/euclidean/fullsort", func(b *testing.B) {
+		ctx := fixedCtx()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Query = probes[i%len(probes)]
+			scores, err := core.Euclidean{}.Rank(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fullSortSelect(scores, benchQueryK)
+		}
+	})
+	stream := measure(report, "ranking-path/euclidean/stream", func(b *testing.B) {
+		ctx := fixedCtx()
+		buf := make([]core.Ranked, 0, benchQueryK)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Query = probes[i%len(probes)]
+			got, err := core.Euclidean{}.RankTopAppend(ctx, benchQueryK, buf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = got
+		}
+	})
+	if stream.AllocsPerOp > 0 {
+		report.Summary.RankingPathAllocRatio = float64(full.AllocsPerOp) / float64(stream.AllocsPerOp)
+	}
+	if stream.NsPerOp > 0 {
+		report.Summary.RankingPathSpeedup = full.NsPerOp / stream.NsPerOp
+	}
+
+	// End-to-end feedback rounds (training included for the SVM schemes):
+	// the latency trajectory of one full query under each scheme.
+	schemes := []struct {
+		name   string
+		scheme core.TopKRanker
+	}{
+		{"euclidean", core.Euclidean{}},
+		{"rf-svm", core.RFSVM{Options: exp.Config.SVM}},
+		{"lrf-2svms", core.LRF2SVMs{Options: exp.Config.SVM}},
+		{"lrf-csvm", core.LRFCSVM{Params: exp.Config.CSVM}},
+	}
+	for _, s := range schemes {
+		s := s
+		measure(report, "query/"+s.name+"/fullsort", func(b *testing.B) {
+			ctx := fixedCtx()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scores, err := s.scheme.Rank(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fullSortSelect(scores, benchQueryK)
+			}
+		})
+		measure(report, "query/"+s.name+"/stream", func(b *testing.B) {
+			ctx := fixedCtx()
+			buf := make([]core.Ranked, 0, benchQueryK)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := s.scheme.RankTopAppend(ctx, benchQueryK, buf[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = got
+			}
+		})
+	}
+
+	fmt.Printf("ranking path: %.1fx fewer allocs/op, %.2fx faster (full-argsort vs streaming top-%d)\n",
+		report.Summary.RankingPathAllocRatio, report.Summary.RankingPathSpeedup, benchQueryK)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -9,6 +9,8 @@
 //	lrfbench -dataset 50 -queries 100         # Table 2 with fewer queries
 //	lrfbench -dataset 20 -profile ci          # fast scaled-down profile
 //	lrfbench -dataset 20 -ablation rho        # rho-ceiling ablation
+//	lrfbench -profile ci -benchquery          # query-path ns/op + allocs/op,
+//	                                          # written to BENCH_query.json
 package main
 
 import (
@@ -29,6 +31,8 @@ func main() {
 		seed        = flag.Uint64("seed", 42, "experiment seed")
 		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		ablation    = flag.String("ablation", "", "run an ablation instead of the main table: selection, rho, delta, unlabeled, logkernel")
+		benchquery  = flag.Bool("benchquery", false, "benchmark the query hot path (-benchmem statistics) instead of the main table")
+		benchout    = flag.String("benchout", "BENCH_query.json", "output path of the machine-readable -benchquery report")
 	)
 	flag.Parse()
 
@@ -53,6 +57,14 @@ func main() {
 	}
 	fmt.Printf("prepared in %v (log coverage %.0f%%, %d judgments)\n\n",
 		time.Since(start).Round(time.Millisecond), 100*exp.LogStats.CoverageFraction, exp.LogStats.TotalJudgments)
+
+	if *benchquery {
+		if err := runQueryBench(exp, *profile, *benchout); err != nil {
+			fmt.Fprintln(os.Stderr, "lrfbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *ablation != "" {
 		if err := runAblation(exp, *ablation); err != nil {

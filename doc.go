@@ -15,15 +15,35 @@
 // Figures 3-4, an interactive retrieval engine, binary persistence, and a
 // JSON HTTP server.
 //
+// # Sharded query pipeline
+//
+// Collection scoring runs over fixed-size shards (kernel.ShardedSet): each
+// shard is a self-contained slab of flat row-major storage with precomputed
+// row norms, scored independently by workers pulling shard ranges from a
+// queue. The final ranking streams through bounded per-shard top-K heaps
+// (core.TopKRanker / core.TopK, O(n log K)) merged under the strict
+// descending-score, ascending-index order, so results are bit-identical to
+// a full stable sort for every shard size and worker count. Per-query score
+// lanes and selectors come from a pooled scratch arena on the collection
+// batch: a steady-state query with a recycled result buffer
+// (RankTopAppend) allocates one object per ranking pass. The K limit is
+// threaded end to end — Engine.InitialQuery/InitialQueryBatch,
+// Session.Refine, and the HTTP query/refine endpoints (with a configurable
+// default and hard ceiling) all return bounded lists. The full-scores path
+// (Scheme.Rank) remains for the evaluation harness, which needs every
+// score.
+//
 // # Dynamic collections
 //
 // The engine serves a living collection: retrieval.Engine.AddImages (and
 // POST /api/images on the HTTP server) ingests new visual descriptors while
-// queries and feedback rounds keep running. Ingestion is copy-on-write — the
-// flat kernel store, its row norms and the collection-level kernel estimate
-// grow incrementally and are published as a new immutable epoch, so
-// in-flight rankings finish against their own consistent snapshot and are
-// never blocked or torn. Committed feedback rounds extend the per-image log
+// queries and feedback rounds keep running. Ingestion is copy-on-write —
+// only the tail shard grows (full shards are shared between epochs), row
+// norms and the collection-level kernel estimate grow incrementally, and
+// the grown index is published as a new immutable epoch, so in-flight
+// rankings finish against their own consistent snapshot and are never
+// blocked or torn. Shard layout depends only on the shard size, never on
+// ingestion batching. Committed feedback rounds extend the per-image log
 // relevance columns incrementally the same way. A grown engine can be
 // persisted as one self-contained snapshot file (storage.SaveSnapshot /
 // retrieval.Engine.Snapshot) and reloaded bit-identically; cmd/cbirserver

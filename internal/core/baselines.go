@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lrfcsvm/internal/kernel"
+	"lrfcsvm/internal/linalg"
 	"lrfcsvm/internal/svm"
 )
 
@@ -19,11 +20,8 @@ func (Euclidean) Name() string { return "Euclidean" }
 // Euclidean ranking ignores user feedback, so unlike the learning schemes it
 // does not require any labeled examples in the context.
 func (Euclidean) Rank(ctx *QueryContext) ([]float64, error) {
-	if len(ctx.Visual) == 0 {
-		return nil, fmt.Errorf("core: query context has no images")
-	}
-	if ctx.Query < 0 || ctx.Query >= len(ctx.Visual) {
-		return nil, fmt.Errorf("core: query index %d out of range [0,%d)", ctx.Query, len(ctx.Visual))
+	if err := validateEuclidean(ctx); err != nil {
+		return nil, err
 	}
 	dist := queryDistances(ctx, ctx.collectionBatch())
 	scores := make([]float64, ctx.NumImages())
@@ -31,6 +29,48 @@ func (Euclidean) Rank(ctx *QueryContext) ([]float64, error) {
 		scores[i] = -dist[i]
 	}
 	return scores, nil
+}
+
+// RankTop implements TopKRanker: per-shard distances are computed into a
+// pooled scratch lane and pushed through bounded selection, so no
+// collection-sized slice is materialized. Results are bit-identical to
+// Rank + TopK.
+func (s Euclidean) RankTop(ctx *QueryContext, k int) ([]Ranked, error) {
+	return s.RankTopAppend(ctx, k, nil)
+}
+
+// RankTopAppend implements TopKRanker.
+func (Euclidean) RankTopAppend(ctx *QueryContext, k int, dst []Ranked) ([]Ranked, error) {
+	if err := validateEuclidean(ctx); err != nil {
+		return nil, err
+	}
+	b := ctx.collectionBatch()
+	q := linalg.Vector(b.VisualSet().Point(ctx.Query))
+	return rankTopRanges(ctx, b, k, dst, func(sub *kernel.DenseSet, lo int, dst []float64) {
+		scoreDistanceRange(q, sub, dst)
+	}), nil
+}
+
+func validateEuclidean(ctx *QueryContext) error {
+	if len(ctx.Visual) == 0 {
+		return fmt.Errorf("core: query context has no images")
+	}
+	if ctx.Query < 0 || ctx.Query >= len(ctx.Visual) {
+		return fmt.Errorf("core: query index %d out of range [0,%d)", ctx.Query, len(ctx.Visual))
+	}
+	return nil
+}
+
+// labeledSplit splits the context's labeled examples into parallel index and
+// label slices, the representation the SVM trainers consume.
+func labeledSplit(ctx *QueryContext) (indices []int, labels []float64) {
+	indices = make([]int, len(ctx.Labeled))
+	labels = make([]float64, len(ctx.Labeled))
+	for i, ex := range ctx.Labeled {
+		indices[i] = ex.Index
+		labels[i] = ex.Label
+	}
+	return indices, labels
 }
 
 // SVMOptions carries the kernel and solver settings shared by the SVM-based
@@ -134,26 +174,50 @@ type RFSVM struct {
 // Name implements Scheme.
 func (RFSVM) Name() string { return "RF-SVM" }
 
+// train validates the context and trains the round's visual SVM.
+func (s RFSVM) train(ctx *QueryContext, batch *CollectionBatch) (*svm.Model, error) {
+	opts := s.Options.withDefaults(ctx, batch)
+	indices, labels := labeledSplit(ctx)
+	model, err := trainModality(ctx.visualPoints(indices), labels, opts.C, opts.VisualKernel, opts.Solver)
+	if err != nil {
+		return nil, fmt.Errorf("core: RF-SVM training: %w", err)
+	}
+	return model, nil
+}
+
 // Rank implements Scheme.
 func (s RFSVM) Rank(ctx *QueryContext) ([]float64, error) {
 	if err := ctx.Validate(false); err != nil {
 		return nil, err
 	}
 	batch := ctx.collectionBatch()
-	opts := s.Options.withDefaults(ctx, batch)
-	indices := make([]int, len(ctx.Labeled))
-	labels := make([]float64, len(ctx.Labeled))
-	for i, ex := range ctx.Labeled {
-		indices[i] = ex.Index
-		labels[i] = ex.Label
-	}
-	model, err := trainModality(ctx.visualPoints(indices), labels, opts.C, opts.VisualKernel, opts.Solver)
+	model, err := s.train(ctx, batch)
 	if err != nil {
-		return nil, fmt.Errorf("core: RF-SVM training: %w", err)
+		return nil, err
 	}
 	scores := rankVisual(ctx, batch, model)
 	addQueryPriorBatch(scores, ctx, batch)
 	return scores, nil
+}
+
+// RankTop implements TopKRanker: the same trained model as Rank, scored
+// through streaming per-shard selection. Results are bit-identical to
+// Rank + TopK.
+func (s RFSVM) RankTop(ctx *QueryContext, k int) ([]Ranked, error) {
+	return s.RankTopAppend(ctx, k, nil)
+}
+
+// RankTopAppend implements TopKRanker.
+func (s RFSVM) RankTopAppend(ctx *QueryContext, k int, dst []Ranked) ([]Ranked, error) {
+	if err := ctx.Validate(false); err != nil {
+		return nil, err
+	}
+	batch := ctx.collectionBatch()
+	model, err := s.train(ctx, batch)
+	if err != nil {
+		return nil, err
+	}
+	return rankTopVisual(ctx, batch, model, k, dst), nil
 }
 
 // LRF2SVMs is the "straightforward" log-based relevance feedback approach the
@@ -167,28 +231,52 @@ type LRF2SVMs struct {
 // Name implements Scheme.
 func (LRF2SVMs) Name() string { return "LRF-2SVMs" }
 
+// train trains the round's two independent per-modality SVMs.
+func (s LRF2SVMs) train(ctx *QueryContext, batch *CollectionBatch) (visualModel, logModel *svm.Model, err error) {
+	opts := s.Options.withDefaults(ctx, batch)
+	indices, labels := labeledSplit(ctx)
+	visualModel, err = trainModality(ctx.visualPoints(indices), labels, opts.C, opts.VisualKernel, opts.Solver)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: LRF-2SVMs visual training: %w", err)
+	}
+	logModel, err = trainModality(ctx.logPoints(indices), labels, opts.C, opts.LogKernel, opts.Solver)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: LRF-2SVMs log training: %w", err)
+	}
+	return visualModel, logModel, nil
+}
+
 // Rank implements Scheme.
 func (s LRF2SVMs) Rank(ctx *QueryContext) ([]float64, error) {
 	if err := ctx.Validate(true); err != nil {
 		return nil, err
 	}
 	batch := ctx.collectionBatch()
-	opts := s.Options.withDefaults(ctx, batch)
-	indices := make([]int, len(ctx.Labeled))
-	labels := make([]float64, len(ctx.Labeled))
-	for i, ex := range ctx.Labeled {
-		indices[i] = ex.Index
-		labels[i] = ex.Label
-	}
-	visualModel, err := trainModality(ctx.visualPoints(indices), labels, opts.C, opts.VisualKernel, opts.Solver)
+	visualModel, logModel, err := s.train(ctx, batch)
 	if err != nil {
-		return nil, fmt.Errorf("core: LRF-2SVMs visual training: %w", err)
-	}
-	logModel, err := trainModality(ctx.logPoints(indices), labels, opts.C, opts.LogKernel, opts.Solver)
-	if err != nil {
-		return nil, fmt.Errorf("core: LRF-2SVMs log training: %w", err)
+		return nil, err
 	}
 	scores := rankCoupled(ctx, batch, visualModel, logModel)
 	addQueryPriorBatch(scores, ctx, batch)
 	return scores, nil
+}
+
+// RankTop implements TopKRanker: the same trained models as Rank, scored
+// through streaming per-shard selection. Results are bit-identical to
+// Rank + TopK.
+func (s LRF2SVMs) RankTop(ctx *QueryContext, k int) ([]Ranked, error) {
+	return s.RankTopAppend(ctx, k, nil)
+}
+
+// RankTopAppend implements TopKRanker.
+func (s LRF2SVMs) RankTopAppend(ctx *QueryContext, k int, dst []Ranked) ([]Ranked, error) {
+	if err := ctx.Validate(true); err != nil {
+		return nil, err
+	}
+	batch := ctx.collectionBatch()
+	visualModel, logModel, err := s.train(ctx, batch)
+	if err != nil {
+		return nil, err
+	}
+	return rankTopCoupled(ctx, batch, visualModel, logModel, k, dst), nil
 }

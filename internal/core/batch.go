@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"lrfcsvm/internal/kernel"
 	"lrfcsvm/internal/linalg"
@@ -12,23 +13,37 @@ import (
 	"lrfcsvm/internal/svm"
 )
 
-// This file is the batched, data-parallel scoring path shared by every
-// retrieval scheme: the collection is stored flat (kernel.DenseSet), models
-// are evaluated row-wise through the batch kernel path, and the per-image
-// loop is sharded across Workers goroutines. Each score element is written
-// by exactly one worker with the same arithmetic as the scalar path, so
-// rankings are bit-for-bit independent of the worker count.
+// This file is the sharded, data-parallel scoring path shared by every
+// retrieval scheme: the collection is partitioned into fixed-size shards
+// (kernel.ShardedSet), models are evaluated shard-wise through the batch
+// kernel path, and the per-image work is distributed over Workers goroutines
+// pulling shard ranges from a queue. Each score element is written by
+// exactly one worker with the same arithmetic as the scalar path, so
+// rankings are bit-for-bit independent of the worker count and of the shard
+// size.
+//
+// Two consumption modes exist: the full-scores mode materializes one score
+// per image (the evaluation harness needs every score), and the streaming
+// mode (rankTopRanges) pushes each shard's scores through a bounded top-K
+// selector backed by a pooled per-query scratch arena, so the steady-state
+// query path allocates nothing proportional to the collection size.
+
+// DefaultShardSize re-exports the collection shard capacity selected when a
+// batch is built without an explicit shard size.
+const DefaultShardSize = kernel.DefaultShardSize
 
 // CollectionBatch caches collection-level precomputation shared by every
-// query against the same collection: the flat visual store with row norms,
-// the log vectors wrapped as kernel points, and the mean-distance estimate
-// of the default visual kernel. Build one per indexed collection (the
-// retrieval engine and eval experiments do) and attach it to each
-// QueryContext; schemes fall back to a transient one per Rank call when the
-// context carries none. All methods are safe for concurrent use.
+// query against the same collection: the sharded flat visual store with
+// per-shard row norms, the log vectors wrapped as kernel points, the
+// mean-distance estimate of the default visual kernel, and a pool of
+// per-query scratch arenas (score lanes and top-K selectors sized to one
+// shard). Build one per indexed collection (the retrieval engine and eval
+// experiments do) and attach it to each QueryContext; schemes fall back to a
+// transient one per Rank call when the context carries none. All methods are
+// safe for concurrent use.
 type CollectionBatch struct {
 	src []linalg.Vector // the collection the batch was built from
-	set *kernel.DenseSet
+	set *kernel.ShardedSet
 
 	vkOnce sync.Once
 	vk     kernel.Kernel
@@ -44,25 +59,38 @@ type CollectionBatch struct {
 	distMu    sync.Mutex
 	distQuery int
 	dist      []float64
+
+	// scratch pools per-query scoring arenas (see rankScratch); steady-state
+	// queries reuse them instead of allocating shard-sized buffers.
+	scratch sync.Pool
 }
 
-// NewCollectionBatch indexes the collection's visual descriptors into flat
-// storage. The descriptors are copied; later mutation of the input does not
-// reach the batch.
+// NewCollectionBatch indexes the collection's visual descriptors into
+// sharded flat storage with the default shard size. The descriptors are
+// copied; later mutation of the input does not reach the batch.
 func NewCollectionBatch(visual []linalg.Vector) *CollectionBatch {
-	return &CollectionBatch{src: visual, set: kernel.NewDenseSet(visual)}
+	return NewShardedCollectionBatch(visual, 0)
+}
+
+// NewShardedCollectionBatch indexes the collection with an explicit shard
+// size (<= 0 selects kernel.DefaultShardSize). Scores and rankings are
+// bit-identical for every shard size; the knob trades per-worker cache
+// residency against scheduling granularity.
+func NewShardedCollectionBatch(visual []linalg.Vector, shardSize int) *CollectionBatch {
+	return &CollectionBatch{src: visual, set: kernel.NewShardedSet(visual, shardSize)}
 }
 
 // Grow returns a CollectionBatch extended to cover visual: the receiver's
 // source collection plus descriptors appended after it (the prefix must be
-// the same collection; only the length grows). The flat store grows
-// copy-on-write through kernel.DenseSet.Grow, so row norms are computed only
-// for the appended descriptors and in-flight queries against the receiver
-// are never disturbed. The default-kernel bandwidth is re-estimated lazily
-// over the full grown collection — the evenly spaced subsample of the
-// estimator is deterministic, so the grown batch's kernel is identical to a
-// from-scratch batch over the same collection. The query-distance and
-// log-point caches start empty: their shapes track the collection size.
+// the same collection; only the length grows). The sharded store grows
+// copy-on-write through kernel.ShardedSet.Grow — full shards are shared and
+// only the tail shard is rebuilt — so row norms are computed only for the
+// appended descriptors and in-flight queries against the receiver are never
+// disturbed. The default-kernel bandwidth is re-estimated lazily over the
+// full grown collection — the evenly spaced subsample of the estimator is
+// deterministic, so the grown batch's kernel is identical to a from-scratch
+// batch over the same collection. The query-distance and log-point caches
+// start empty: their shapes track the collection size.
 func (b *CollectionBatch) Grow(visual []linalg.Vector) *CollectionBatch {
 	if len(visual) < len(b.src) {
 		panic(fmt.Sprintf("core: Grow shrinks the collection from %d to %d images", len(b.src), len(visual)))
@@ -84,8 +112,8 @@ func (b *CollectionBatch) matches(visual []linalg.Vector) bool {
 	return len(visual) == 0 || &b.src[0] == &visual[0]
 }
 
-// VisualSet returns the flat visual collection store.
-func (b *CollectionBatch) VisualSet() *kernel.DenseSet { return b.set }
+// VisualSet returns the sharded flat visual collection store.
+func (b *CollectionBatch) VisualSet() *kernel.ShardedSet { return b.set }
 
 // defaultVisualKernel estimates (once) the default RBF kernel over the
 // collection's visual descriptors. The estimate depends only on the
@@ -116,6 +144,36 @@ func (b *CollectionBatch) logPoints(vs []*sparse.Vector) []kernel.Point {
 	return pts
 }
 
+// rankScratch is one pooled per-query scoring arena: two shard-sized score
+// lanes (decision values, log-modality values or kernel accumulation
+// buffers) and a reusable bounded top-K selector. Arenas live in the
+// collection batch's pool; a steady-state query borrows one, scores through
+// it and returns it without allocating.
+type rankScratch struct {
+	lanes [2][]float64
+	sel   topKSelector
+}
+
+// lane returns scratch lane i with length n, growing its backing array only
+// when a larger shard is seen.
+func (s *rankScratch) lane(i, n int) []float64 {
+	if cap(s.lanes[i]) < n {
+		s.lanes[i] = make([]float64, n)
+	}
+	return s.lanes[i][:n]
+}
+
+// scratchGet borrows a scoring arena from the batch's pool.
+func (b *CollectionBatch) scratchGet() *rankScratch {
+	if s, ok := b.scratch.Get().(*rankScratch); ok {
+		return s
+	}
+	return &rankScratch{}
+}
+
+// scratchPut returns a borrowed arena to the pool.
+func (b *CollectionBatch) scratchPut(s *rankScratch) { b.scratch.Put(s) }
+
 // collectionBatch returns the context's attached CollectionBatch when it
 // matches the collection, or builds a transient one.
 func (ctx *QueryContext) collectionBatch() *CollectionBatch {
@@ -133,45 +191,148 @@ func (ctx *QueryContext) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// shard splits [0,n) into contiguous chunks and runs fn(lo,hi) on up to
-// workers goroutines, waiting for all of them. fn must only write state
-// owned by its own range.
-func shard(n, workers int, fn func(lo, hi int)) {
+// forEachRange partitions the sharded collection into contiguous ranges —
+// each confined to a single shard, so every unit of work reads one
+// cache-local slab — and runs fn over them on up to workers goroutines
+// pulling ranges from a shared queue. fn receives the range as a DenseSet
+// view plus the global index of its first row; it must only write state
+// owned by its own range. With one worker the shards are visited in order
+// on the calling goroutine with no scheduling overhead or allocation.
+func forEachRange(set *kernel.ShardedSet, workers int, fn func(sub *kernel.DenseSet, lo int)) {
+	n := set.Len()
+	if n == 0 {
+		return
+	}
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || n == 0 {
-		if n > 0 {
-			fn(0, n)
+	if workers <= 1 {
+		for si := 0; si < set.NumShards(); si++ {
+			fn(set.Shard(si), set.ShardStart(si))
 		}
 		return
 	}
+	// Chunk so every worker has work even when the whole collection fits in
+	// one shard, without ever splitting a range across shard boundaries.
 	chunk := (n + workers - 1) / workers
+	if ss := set.ShardSize(); chunk > ss {
+		chunk = ss
+	}
+	tasksPerShard := (set.ShardSize() + chunk - 1) / chunk
+	numTasks := tasksPerShard * set.NumShards()
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func() {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= numTasks {
+					return
+				}
+				shard := set.Shard(t / tasksPerShard)
+				lo := (t % tasksPerShard) * chunk
+				if lo >= shard.Len() {
+					continue // the tail shard is shorter than a full one
+				}
+				hi := lo + chunk
+				if hi > shard.Len() {
+					hi = shard.Len()
+				}
+				fn(shard.Slice(lo, hi), set.ShardStart(t/tasksPerShard)+lo)
+			}
+		}()
 	}
 	wg.Wait()
+}
+
+// rankTopRanges is the streaming selection mode: fn scores each shard range
+// into a pooled scratch lane, the range's scores feed a bounded top-K
+// selector, and the per-range selections merge into one global top-K
+// appended to dst (reusing its capacity — a caller recycling its result
+// buffer allocates nothing here). The (score, index) total order is strict,
+// so the merged result is the unique global top-K — bit-identical to
+// materializing every score and fully sorting, for any shard size and
+// worker count.
+func rankTopRanges(ctx *QueryContext, b *CollectionBatch, k int, dst []Ranked, fn func(sub *kernel.DenseSet, lo int, dst []float64)) []Ranked {
+	set := b.VisualSet()
+	n := set.Len()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		if dst == nil {
+			dst = []Ranked{}
+		}
+		return dst
+	}
+	workers := ctx.workers()
+	if workers <= 1 || n <= 1 {
+		sc := b.scratchGet()
+		sc.sel.reset(k)
+		for si := 0; si < set.NumShards(); si++ {
+			shard := set.Shard(si)
+			lo := set.ShardStart(si)
+			scores := sc.lane(0, shard.Len())
+			fn(shard, lo, scores)
+			for i, v := range scores {
+				sc.sel.push(lo+i, v)
+			}
+		}
+		dst = sc.sel.drain(dst)
+		b.scratchPut(sc)
+		return dst
+	}
+	// The global merge selector comes from the pool too, so the parallel
+	// path allocates nothing per query beyond the goroutines themselves.
+	var mu sync.Mutex
+	gsc := b.scratchGet()
+	global := &gsc.sel
+	global.reset(k)
+	forEachRange(set, workers, func(sub *kernel.DenseSet, lo int) {
+		sc := b.scratchGet()
+		scores := sc.lane(0, sub.Len())
+		fn(sub, lo, scores)
+		sc.sel.reset(k)
+		for i, v := range scores {
+			sc.sel.push(lo+i, v)
+		}
+		mu.Lock()
+		global.merge(&sc.sel)
+		mu.Unlock()
+		b.scratchPut(sc)
+	})
+	dst = global.drain(dst)
+	b.scratchPut(gsc)
+	return dst
 }
 
 // rankVisual scores every image of the collection under a visual-modality
 // model, sharded across the context's workers.
 func rankVisual(ctx *QueryContext, b *CollectionBatch, model *svm.Model) []float64 {
 	set := b.VisualSet()
-	n := set.Len()
-	scores := make([]float64, n)
-	shard(n, ctx.workers(), func(lo, hi int) {
-		model.DecisionSet(set.Slice(lo, hi), scores[lo:hi], nil)
+	scores := make([]float64, set.Len())
+	forEachRange(set, ctx.workers(), func(sub *kernel.DenseSet, lo int) {
+		sc := b.scratchGet()
+		model.DecisionSet(sub, scores[lo:lo+sub.Len()], sc.lane(0, sub.Len()))
+		b.scratchPut(sc)
 	})
 	return scores
+}
+
+// scoreCoupledRange scores one shard range by the summed decision value of a
+// visual and a log model, writing into dst with the same arithmetic as the
+// scalar path.
+func scoreCoupledRange(b *CollectionBatch, visualModel, logModel *svm.Model, logPts []kernel.Point, sub *kernel.DenseSet, lo int, dst []float64) {
+	sc := b.scratchGet()
+	logScores := sc.lane(0, sub.Len())
+	visualModel.DecisionSet(sub, dst, sc.lane(1, sub.Len()))
+	logModel.DecisionBatch(logPts[lo:lo+sub.Len()], logScores, sc.lane(1, sub.Len()))
+	for i := range dst {
+		dst[i] += logScores[i]
+	}
+	b.scratchPut(sc)
 }
 
 // rankCoupled scores every image by the summed decision value of a visual
@@ -180,26 +341,47 @@ func rankVisual(ctx *QueryContext, b *CollectionBatch, model *svm.Model) []float
 func rankCoupled(ctx *QueryContext, b *CollectionBatch, visualModel, logModel *svm.Model) []float64 {
 	set := b.VisualSet()
 	logPts := b.logPoints(ctx.LogVectors)
-	n := set.Len()
-	scores := make([]float64, n)
-	shard(n, ctx.workers(), func(lo, hi int) {
-		logScores := make([]float64, hi-lo)
-		visualModel.DecisionSet(set.Slice(lo, hi), scores[lo:hi], nil)
-		logModel.DecisionBatch(logPts[lo:hi], logScores, nil)
-		for i := lo; i < hi; i++ {
-			scores[i] += logScores[i-lo]
-		}
+	scores := make([]float64, set.Len())
+	forEachRange(set, ctx.workers(), func(sub *kernel.DenseSet, lo int) {
+		scoreCoupledRange(b, visualModel, logModel, logPts, sub, lo, scores[lo:lo+sub.Len()])
 	})
 	return scores
+}
+
+// rankTopVisual is the streaming counterpart of rankVisual followed by the
+// query prior and top-k selection, appending into dst.
+func rankTopVisual(ctx *QueryContext, b *CollectionBatch, model *svm.Model, k int, dst []Ranked) []Ranked {
+	dist := queryDistances(ctx, b)
+	return rankTopRanges(ctx, b, k, dst, func(sub *kernel.DenseSet, lo int, dst []float64) {
+		sc := b.scratchGet()
+		model.DecisionSet(sub, dst, sc.lane(1, sub.Len()))
+		b.scratchPut(sc)
+		for i := range dst {
+			dst[i] -= queryPriorWeight * dist[lo+i]
+		}
+	})
+}
+
+// rankTopCoupled is the streaming counterpart of rankCoupled followed by the
+// query prior and top-k selection, appending into dst.
+func rankTopCoupled(ctx *QueryContext, b *CollectionBatch, visualModel, logModel *svm.Model, k int, dst []Ranked) []Ranked {
+	dist := queryDistances(ctx, b)
+	logPts := b.logPoints(ctx.LogVectors)
+	return rankTopRanges(ctx, b, k, dst, func(sub *kernel.DenseSet, lo int, dst []float64) {
+		scoreCoupledRange(b, visualModel, logModel, logPts, sub, lo, dst)
+		for i := range dst {
+			dst[i] -= queryPriorWeight * dist[lo+i]
+		}
+	})
 }
 
 // queryDistances returns the Euclidean distances from the query image to
 // every image of the collection, computed through the sharded batch path and
 // cached per query (the last query's row is kept — feedback rounds re-rank
 // the same query). Callers must not mutate the returned slice. Distances use
-// the norm-expansion batch path (one matrix-vector product against the
-// precomputed row norms); EXPERIMENTS.md documents the O(1e-15) per-score
-// drift and the unchanged MAP metrics.
+// the norm-expansion batch path (one matrix-vector product per shard against
+// the precomputed row norms); EXPERIMENTS.md documents the O(1e-15)
+// per-score drift and the unchanged MAP metrics.
 func queryDistances(ctx *QueryContext, b *CollectionBatch) []float64 {
 	b.distMu.Lock()
 	if b.dist != nil && b.distQuery == ctx.Query {
@@ -212,11 +394,11 @@ func queryDistances(ctx *QueryContext, b *CollectionBatch) []float64 {
 	set := b.VisualSet()
 	q := linalg.Vector(set.Point(ctx.Query))
 	dst := make([]float64, set.Len())
-	shard(set.Len(), ctx.workers(), func(lo, hi int) {
-		sub := set.Slice(lo, hi)
-		sub.Matrix().RowSquaredDistancesNormInto(dst[lo:hi], q, sub.Norms())
-		for i := lo; i < hi; i++ {
-			dst[i] = math.Sqrt(dst[i])
+	forEachRange(set, ctx.workers(), func(sub *kernel.DenseSet, lo int) {
+		out := dst[lo : lo+sub.Len()]
+		sub.Matrix().RowSquaredDistancesNormInto(out, q, sub.Norms())
+		for i := range out {
+			out[i] = math.Sqrt(out[i])
 		}
 	})
 
@@ -225,6 +407,16 @@ func queryDistances(ctx *QueryContext, b *CollectionBatch) []float64 {
 	b.dist = dst
 	b.distMu.Unlock()
 	return dst
+}
+
+// scoreDistanceRange writes the negative Euclidean distance of one shard
+// range into dst — the Euclidean scheme's score, computed without touching
+// the full-row cache so streaming queries stay allocation-free.
+func scoreDistanceRange(q linalg.Vector, sub *kernel.DenseSet, dst []float64) {
+	sub.Matrix().RowSquaredDistancesNormInto(dst, q, sub.Norms())
+	for i := range dst {
+		dst[i] = -math.Sqrt(dst[i])
+	}
 }
 
 // addQueryPriorBatch adds the initial-similarity prior to scores in place

@@ -4,26 +4,42 @@ import (
 	"sync"
 	"testing"
 
+	"lrfcsvm/internal/kernel"
 	"lrfcsvm/internal/linalg"
 )
 
-// TestShardCoversRange verifies the shard helper partitions exactly and
-// never overlaps, for worker counts around the collection size.
-func TestShardCoversRange(t *testing.T) {
+// TestForEachRangeCoversCollection verifies the shard-range scheduler covers
+// every image exactly once and never hands out a range crossing a shard
+// boundary, for shard sizes and worker counts around the collection size.
+func TestForEachRangeCoversCollection(t *testing.T) {
+	rng := linalg.NewRNG(3)
 	for _, n := range []int{0, 1, 7, 100} {
-		for _, workers := range []int{0, 1, 2, 3, 8, 200} {
-			seen := make([]int, n)
-			var mu sync.Mutex
-			shard(n, workers, func(lo, hi int) {
-				mu.Lock()
-				defer mu.Unlock()
-				for i := lo; i < hi; i++ {
-					seen[i]++
-				}
-			})
-			for i, c := range seen {
-				if c != 1 {
-					t.Fatalf("n=%d workers=%d: element %d covered %d times", n, workers, i, c)
+		vs := make([]linalg.Vector, n)
+		for i := range vs {
+			vs[i] = linalg.Vector{rng.Normal(0, 1), rng.Normal(0, 1)}
+		}
+		for _, shardSize := range []int{1, 3, 8, 64, 1000} {
+			set := kernel.NewShardedSet(vs, shardSize)
+			for _, workers := range []int{1, 2, 3, 8, 200} {
+				seen := make([]int, n)
+				var mu sync.Mutex
+				forEachRange(set, workers, func(sub *kernel.DenseSet, lo int) {
+					if sub.Len() > shardSize {
+						t.Errorf("range of %d rows exceeds shard size %d", sub.Len(), shardSize)
+					}
+					if lo/shardSize != (lo+sub.Len()-1)/shardSize {
+						t.Errorf("range [%d,%d) crosses a shard boundary (size %d)", lo, lo+sub.Len(), shardSize)
+					}
+					mu.Lock()
+					defer mu.Unlock()
+					for i := lo; i < lo+sub.Len(); i++ {
+						seen[i]++
+					}
+				})
+				for i, c := range seen {
+					if c != 1 {
+						t.Fatalf("n=%d shardSize=%d workers=%d: element %d covered %d times", n, shardSize, workers, i, c)
+					}
 				}
 			}
 		}

@@ -97,20 +97,13 @@ func (s LRFCSVM) Rank(ctx *QueryContext) ([]float64, error) {
 	return res.Scores, nil
 }
 
-// RankDetailed runs the full algorithm and returns scores plus diagnostics.
-func (s LRFCSVM) RankDetailed(ctx *QueryContext) (*CSVMResult, error) {
-	if err := ctx.Validate(true); err != nil {
-		return nil, err
-	}
-	batch := ctx.collectionBatch()
-	p := s.Params.withDefaults(ctx, batch)
-
-	labeledIdx := make([]int, len(ctx.Labeled))
-	labels := make([]float64, len(ctx.Labeled))
-	for i, ex := range ctx.Labeled {
-		labeledIdx[i] = ex.Index
-		labels[i] = ex.Label
-	}
+// train runs steps 1-2 of Fig. 1: unlabeled selection and the annealed
+// coupled-SVM optimization. Both steps need full combined scores of the
+// whole collection (the selection heuristic ranks every candidate), so only
+// step 3 — the final retrieval pass — can stream through bounded top-K
+// selection.
+func (s LRFCSVM) train(ctx *QueryContext, batch *CollectionBatch, p CSVMParams) (coupled *CoupledResult, unlabeledIdx []int, err error) {
+	labeledIdx, labels := labeledSplit(ctx)
 
 	// Step 1 — select N' unlabeled samples. Train one SVM per modality on
 	// the labeled data only and score every image by the sum of the two
@@ -122,11 +115,11 @@ func (s LRFCSVM) RankDetailed(ctx *QueryContext) (*CSVMResult, error) {
 	// see logAssistedSelection).
 	visualInit, err := trainModality(ctx.visualPoints(labeledIdx), labels, p.Cw, p.VisualKernel, p.Coupled.Solver)
 	if err != nil {
-		return nil, fmt.Errorf("core: LRF-CSVM visual init: %w", err)
+		return nil, nil, fmt.Errorf("core: LRF-CSVM visual init: %w", err)
 	}
 	logInit, err := trainModality(ctx.logPoints(labeledIdx), labels, p.Cu, p.LogKernel, p.Coupled.Solver)
 	if err != nil {
-		return nil, fmt.Errorf("core: LRF-CSVM log init: %w", err)
+		return nil, nil, fmt.Errorf("core: LRF-CSVM log init: %w", err)
 	}
 
 	n := ctx.NumImages()
@@ -158,9 +151,23 @@ func (s LRFCSVM) RankDetailed(ctx *QueryContext) (*CSVMResult, error) {
 			Unlabeled: ctx.logPoints(unlabeledIdx),
 		},
 	}
-	coupled, err := TrainCoupled(modalities, labels, initialLabels, p.Coupled)
+	coupled, err = TrainCoupled(modalities, labels, initialLabels, p.Coupled)
 	if err != nil {
-		return nil, fmt.Errorf("core: LRF-CSVM coupled training: %w", err)
+		return nil, nil, fmt.Errorf("core: LRF-CSVM coupled training: %w", err)
+	}
+	return coupled, unlabeledIdx, nil
+}
+
+// RankDetailed runs the full algorithm and returns scores plus diagnostics.
+func (s LRFCSVM) RankDetailed(ctx *QueryContext) (*CSVMResult, error) {
+	if err := ctx.Validate(true); err != nil {
+		return nil, err
+	}
+	batch := ctx.collectionBatch()
+	p := s.Params.withDefaults(ctx, batch)
+	coupled, unlabeledIdx, err := s.train(ctx, batch, p)
+	if err != nil {
+		return nil, err
 	}
 
 	// Step 3 — retrieve by the coupled decision value (with the same
@@ -173,6 +180,27 @@ func (s LRFCSVM) RankDetailed(ctx *QueryContext) (*CSVMResult, error) {
 		UnlabeledLabels: coupled.UnlabeledLabels,
 		Coupled:         coupled,
 	}, nil
+}
+
+// RankTop implements TopKRanker: steps 1-2 run exactly as in Rank (they
+// need full combined scores), and the final retrieval pass streams through
+// per-shard bounded selection. Results are bit-identical to Rank + TopK.
+func (s LRFCSVM) RankTop(ctx *QueryContext, k int) ([]Ranked, error) {
+	return s.RankTopAppend(ctx, k, nil)
+}
+
+// RankTopAppend implements TopKRanker.
+func (s LRFCSVM) RankTopAppend(ctx *QueryContext, k int, dst []Ranked) ([]Ranked, error) {
+	if err := ctx.Validate(true); err != nil {
+		return nil, err
+	}
+	batch := ctx.collectionBatch()
+	p := s.Params.withDefaults(ctx, batch)
+	coupled, _, err := s.train(ctx, batch, p)
+	if err != nil {
+		return nil, err
+	}
+	return rankTopCoupled(ctx, batch, coupled.Models[0], coupled.Models[1], k, dst), nil
 }
 
 // selectUnlabeled drafts up to num unlabeled images from candidates: half
@@ -447,13 +475,14 @@ func (s LRFCSVMWithSelection) Rank(ctx *QueryContext) ([]float64, error) {
 	return scores, nil
 }
 
-// Ensure the schemes satisfy the Scheme interface.
+// Ensure the schemes satisfy the Scheme interface, and that the paper's four
+// comparison schemes all provide the streaming top-K path.
 var (
-	_ Scheme = Euclidean{}
-	_ Scheme = RFSVM{}
-	_ Scheme = LRF2SVMs{}
-	_ Scheme = LRFCSVM{}
-	_ Scheme = LRFCSVMWithSelection{}
+	_ Scheme     = LRFCSVMWithSelection{}
+	_ TopKRanker = Euclidean{}
+	_ TopKRanker = RFSVM{}
+	_ TopKRanker = LRF2SVMs{}
+	_ TopKRanker = LRFCSVM{}
 )
 
 // The solver configuration type is re-exported here for convenience so that

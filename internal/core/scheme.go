@@ -117,13 +117,41 @@ type Scheme interface {
 	Rank(ctx *QueryContext) ([]float64, error)
 }
 
-// TopK returns the indices of the k highest-scoring images in descending
-// score order (ties broken by ascending index). k larger than the collection
-// returns every image.
-func TopK(scores []float64, k int) []int {
-	order := linalg.ArgsortDesc(scores)
-	if k > len(order) {
-		k = len(order)
+// TopKRanker is implemented by schemes whose final scoring pass can stream
+// through bounded per-shard selection instead of materializing (and fully
+// sorting) one score per image. RankTop returns the best k images in
+// descending score order, ties broken by ascending index — indices and
+// scores bit-identical to Rank followed by TopK, for any shard size and
+// worker count. RankTopAppend is the allocation-free variant: it appends
+// the same results to dst (reusing dst's capacity), so a steady-state
+// caller that recycles its result buffer completes the whole ranking
+// through pooled scratch memory.
+type TopKRanker interface {
+	Scheme
+	RankTop(ctx *QueryContext, k int) ([]Ranked, error)
+	RankTopAppend(ctx *QueryContext, k int, dst []Ranked) ([]Ranked, error)
+}
+
+// RankTop runs the scheme's streaming top-k path when it has one and falls
+// back to the full-scores path (Rank + TopK) otherwise. Both paths return
+// the same indices and scores.
+func RankTop(s Scheme, ctx *QueryContext, k int) ([]Ranked, error) {
+	if tr, ok := s.(TopKRanker); ok {
+		return tr.RankTop(ctx, k)
 	}
-	return order[:k]
+	scores, err := s.Rank(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return rankedFromScores(scores, k), nil
+}
+
+// rankedFromScores selects the top k of a full score slice.
+func rankedFromScores(scores []float64, k int) []Ranked {
+	idx := TopK(scores, k)
+	out := make([]Ranked, len(idx))
+	for i, id := range idx {
+		out[i] = Ranked{Index: id, Score: scores[id]}
+	}
+	return out
 }

@@ -1,0 +1,145 @@
+package core
+
+// This file is the bounded selection substrate of the streaming query path:
+// a fixed-capacity selector over the descending-score, ascending-index total
+// order. Selecting the top K of N scores costs O(N log K) and touches no
+// memory beyond the K kept candidates, versus the O(N log N) full argsort it
+// replaces; because the order is strict (indices are unique), the selected
+// set and its sorted order are unique — independent of insertion order, shard
+// boundaries and worker scheduling — and bit-identical to the first K entries
+// of a full stable descending argsort.
+
+// Ranked is one scored image of a (top-K) ranking.
+type Ranked struct {
+	Index int
+	Score float64
+}
+
+// rankedBefore reports whether candidate a ranks strictly before candidate b
+// in the descending-score, ascending-index total order. It is the single
+// comparator of the selection path; every sort and heap below must agree
+// with it.
+func rankedBefore(a, b Ranked) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Index < b.Index
+}
+
+// topKSelector keeps the best k candidates seen so far, organized as a
+// min-heap whose root is the worst kept candidate (so a new candidate only
+// needs one comparison against the root once the selector is full). The
+// zero value is unusable; call reset first. Selectors are reused across
+// queries through the collection batch's scratch pool.
+type topKSelector struct {
+	k int
+	h []Ranked
+}
+
+// reset prepares the selector to keep the best k candidates, reusing the
+// candidate storage.
+func (s *topKSelector) reset(k int) {
+	s.k = k
+	if cap(s.h) < k {
+		s.h = make([]Ranked, 0, k)
+	} else {
+		s.h = s.h[:0]
+	}
+}
+
+// push offers one candidate.
+func (s *topKSelector) push(index int, score float64) {
+	c := Ranked{Index: index, Score: score}
+	if len(s.h) < s.k {
+		s.h = append(s.h, c)
+		s.siftUp(len(s.h) - 1)
+		return
+	}
+	// Full: the candidate must beat the current worst to enter.
+	if !rankedBefore(c, s.h[0]) {
+		return
+	}
+	s.h[0] = c
+	s.siftDown(0, len(s.h))
+}
+
+// merge offers every kept candidate of another selector.
+func (s *topKSelector) merge(o *topKSelector) {
+	for _, c := range o.h {
+		s.push(c.Index, c.Score)
+	}
+}
+
+// drain appends the kept candidates to dst in ranking order (best first) and
+// empties the selector. It sorts in place with a hand-rolled heapsort over
+// the existing heap (each extraction moves the worst remaining candidate to
+// the shrinking tail, leaving the array best-first) — no reflection, no
+// closure, no allocation beyond dst's own growth. The selector must be
+// reset before reuse.
+func (s *topKSelector) drain(dst []Ranked) []Ranked {
+	for n := len(s.h) - 1; n > 0; n-- {
+		s.h[0], s.h[n] = s.h[n], s.h[0]
+		s.siftDown(0, n)
+	}
+	dst = append(dst, s.h...)
+	s.h = s.h[:0]
+	return dst
+}
+
+// heapWorse reports whether candidate i is worse than candidate j (the
+// min-heap invariant direction: the root is the worst kept candidate).
+func (s *topKSelector) heapWorse(i, j int) bool { return rankedBefore(s.h[j], s.h[i]) }
+
+func (s *topKSelector) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.heapWorse(i, parent) {
+			return
+		}
+		s.h[i], s.h[parent] = s.h[parent], s.h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap invariant for the first n elements from
+// position i.
+func (s *topKSelector) siftDown(i, n int) {
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && s.heapWorse(l, worst) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && s.heapWorse(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		s.h[i], s.h[worst] = s.h[worst], s.h[i]
+		i = worst
+	}
+}
+
+// TopK returns the indices of the k highest-scoring images in descending
+// score order (ties broken by ascending index, exactly as a stable
+// descending argsort would). k larger than the collection returns every
+// image; k <= 0 returns none. Selection is O(n log k).
+func TopK(scores []float64, k int) []int {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k <= 0 {
+		return []int{}
+	}
+	var sel topKSelector
+	sel.reset(k)
+	for i, sc := range scores {
+		sel.push(i, sc)
+	}
+	ranked := sel.drain(make([]Ranked, 0, k))
+	out := make([]int, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.Index
+	}
+	return out
+}

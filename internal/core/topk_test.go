@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"lrfcsvm/internal/linalg"
+)
+
+// argsortTopK is the pre-refactor reference selection: a full stable
+// descending argsort truncated to k.
+func argsortTopK(scores []float64, k int) []int {
+	order := linalg.ArgsortDesc(scores)
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}
+
+// TestTopKMatchesArgsort pins the heap selection against the full-argsort
+// reference on random scores for a sweep of k, including k = 0, k = n and
+// k > n.
+func TestTopKMatchesArgsort(t *testing.T) {
+	rng := linalg.NewRNG(7)
+	for _, n := range []int{1, 2, 10, 127} {
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Normal(0, 1)
+		}
+		for _, k := range []int{0, 1, 2, n / 2, n - 1, n, n + 5} {
+			got := TopK(scores, k)
+			want := argsortTopK(scores, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: got %d indices, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: index %d = %d, want %d", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKTiedScoresDeterministic verifies tied scores resolve by ascending
+// index — the stable order of the argsort path — including when the tie
+// straddles the selection boundary.
+func TestTopKTiedScoresDeterministic(t *testing.T) {
+	// Ties everywhere: three distinct values, repeated across the slice.
+	scores := []float64{2, 1, 2, 0, 1, 2, 1, 0, 2, 1}
+	wantOrder := []int{0, 2, 5, 8, 1, 4, 6, 9, 3, 7}
+	for k := 0; k <= len(scores); k++ {
+		got := TopK(scores, k)
+		if len(got) != k {
+			t.Fatalf("k=%d: got %d indices", k, len(got))
+		}
+		for i := 0; i < k; i++ {
+			if got[i] != wantOrder[i] {
+				t.Fatalf("k=%d: index %d = %d, want %d (ties must break by ascending index)", k, i, got[i], wantOrder[i])
+			}
+		}
+	}
+	// An all-equal slice selects the first k indices in order.
+	flat := []float64{3, 3, 3, 3, 3, 3}
+	got := TopK(flat, 4)
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("all-tied: position %d = %d, want %d", i, idx, i)
+		}
+	}
+}
+
+// TestTopKSelectorMergeOrderInvariant verifies the bounded selector keeps
+// the same candidate set regardless of insertion order — the property the
+// parallel shard merge relies on for determinism.
+func TestTopKSelectorMergeOrderInvariant(t *testing.T) {
+	rng := linalg.NewRNG(13)
+	n, k := 60, 9
+	scores := make([]float64, n)
+	for i := range scores {
+		// Coarse quantization forces plenty of exact ties.
+		scores[i] = float64(int(rng.Normal(0, 2)))
+	}
+	var fwd, rev, merged topKSelector
+	fwd.reset(k)
+	rev.reset(k)
+	for i := 0; i < n; i++ {
+		fwd.push(i, scores[i])
+		rev.push(n-1-i, scores[n-1-i])
+	}
+	// A two-selector split merged into a third, emulating per-shard heaps.
+	var a, b topKSelector
+	a.reset(k)
+	b.reset(k)
+	for i := 0; i < n/2; i++ {
+		a.push(i, scores[i])
+	}
+	for i := n / 2; i < n; i++ {
+		b.push(i, scores[i])
+	}
+	merged.reset(k)
+	merged.merge(&a)
+	merged.merge(&b)
+
+	want := fwd.drain(nil)
+	for name, sel := range map[string]*topKSelector{"reversed": &rev, "merged": &merged} {
+		got := sel.drain(nil)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d candidates, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: candidate %d = %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package kernel
+
+import (
+	"testing"
+
+	"lrfcsvm/internal/linalg"
+)
+
+// randomVectors builds n deterministic pseudo-random vectors of dimension d.
+func randomVectors(n, d int, seed uint64) []linalg.Vector {
+	rng := linalg.NewRNG(seed)
+	out := make([]linalg.Vector, n)
+	for i := range out {
+		v := make(linalg.Vector, d)
+		for j := range v {
+			v[j] = rng.Normal(0, 1)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// identicalSets asserts two sharded sets have the same layout and
+// bit-identical stored data, norms and point views.
+func identicalSets(t *testing.T, got, want *ShardedSet) {
+	t.Helper()
+	if got.Len() != want.Len() || got.NumShards() != want.NumShards() || got.ShardSize() != want.ShardSize() {
+		t.Fatalf("layout differs: got %d points in %d shards (size %d), want %d in %d (size %d)",
+			got.Len(), got.NumShards(), got.ShardSize(), want.Len(), want.NumShards(), want.ShardSize())
+	}
+	for si := 0; si < got.NumShards(); si++ {
+		g, w := got.Shard(si), want.Shard(si)
+		if g.Len() != w.Len() || g.Dim() != w.Dim() {
+			t.Fatalf("shard %d shape differs: got %dx%d, want %dx%d", si, g.Len(), g.Dim(), w.Len(), w.Dim())
+		}
+		for i, x := range g.Matrix().Data {
+			if x != w.Matrix().Data[i] {
+				t.Fatalf("shard %d data[%d] = %v, want %v", si, i, x, w.Matrix().Data[i])
+			}
+		}
+		for i, x := range g.Norms() {
+			if x != w.Norms()[i] {
+				t.Fatalf("shard %d norm[%d] = %v, want %v", si, i, x, w.Norms()[i])
+			}
+		}
+	}
+}
+
+// TestShardedSetLayout verifies the partition arithmetic: shard count, shard
+// lengths and global point addressing.
+func TestShardedSetLayout(t *testing.T) {
+	vs := randomVectors(23, 5, 1)
+	s := NewShardedSet(vs, 8)
+	if s.Len() != 23 || s.NumShards() != 3 || s.Dim() != 5 {
+		t.Fatalf("got %d points, %d shards, dim %d", s.Len(), s.NumShards(), s.Dim())
+	}
+	for i, want := range []int{8, 8, 7} {
+		if got := s.Shard(i).Len(); got != want {
+			t.Errorf("shard %d has %d points, want %d", i, got, want)
+		}
+		if got := s.ShardStart(i); got != i*8 {
+			t.Errorf("shard %d starts at %d, want %d", i, got, i*8)
+		}
+	}
+	for i := range vs {
+		p := s.Point(i)
+		for j := range vs[i] {
+			if p[j] != vs[i][j] {
+				t.Fatalf("point %d component %d = %v, want %v", i, j, p[j], vs[i][j])
+			}
+		}
+	}
+	pts := s.Points()
+	if len(pts) != 23 {
+		t.Fatalf("Points returned %d points", len(pts))
+	}
+	for i, p := range pts {
+		if &p.(Dense)[0] != &s.Point(i)[0] {
+			t.Fatalf("Points()[%d] is not a view of point %d", i, i)
+		}
+	}
+}
+
+// TestShardedSetGrowBoundaries pins the tail-shard grow path against a
+// from-scratch rebuild for ingestion batches that exactly fill, straddle and
+// overflow a shard — the layout and every stored bit must be independent of
+// how the points were batched into Grow calls.
+func TestShardedSetGrowBoundaries(t *testing.T) {
+	const shardSize = 8
+	vs := randomVectors(40, 6, 2)
+	steps := []struct {
+		name string
+		to   int
+	}{
+		{"initial partial shard", 5},
+		{"exactly fill shard", 8},
+		{"straddle into second shard", 13},
+		{"fill to boundary again", 16},
+		{"overflow two full shards", 35},
+		{"tail remainder", 40},
+	}
+	grown := NewShardedSet(nil, shardSize)
+	prev := 0
+	for _, step := range steps {
+		grown = grown.Grow(vs[prev:step.to])
+		prev = step.to
+		rebuilt := NewShardedSet(vs[:step.to], shardSize)
+		t.Run(step.name, func(t *testing.T) {
+			identicalSets(t, grown, rebuilt)
+		})
+	}
+}
+
+// TestShardedSetGrowSharesFullShards verifies full shards are shared (not
+// copied) across a grow, and that the receiver is left fully usable.
+func TestShardedSetGrowSharesFullShards(t *testing.T) {
+	vs := randomVectors(20, 4, 3)
+	old := NewShardedSet(vs[:17], 8)
+	grown := old.Grow(vs[17:])
+	for i := 0; i < 2; i++ {
+		if old.Shard(i) != grown.Shard(i) {
+			t.Errorf("full shard %d was copied instead of shared", i)
+		}
+	}
+	// The old set still reads its own tail correctly after the grow.
+	for i := 16; i < 17; i++ {
+		p := old.Point(i)
+		for j := range vs[i] {
+			if p[j] != vs[i][j] {
+				t.Fatalf("old set point %d changed after Grow", i)
+			}
+		}
+	}
+	if old.Len() != 17 || grown.Len() != 20 {
+		t.Fatalf("lengths: old %d, grown %d", old.Len(), grown.Len())
+	}
+}
+
+// TestShardedSetGrowDimensionMismatch verifies dimension checks on growth.
+func TestShardedSetGrowDimensionMismatch(t *testing.T) {
+	s := NewShardedSet(randomVectors(4, 3, 4), 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("growing with a mismatched dimension did not panic")
+		}
+	}()
+	s.Grow([]linalg.Vector{{1, 2}})
+}

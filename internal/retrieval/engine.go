@@ -46,6 +46,10 @@ type Options struct {
 	// Workers bounds the goroutines used to score the collection per query;
 	// <=0 selects GOMAXPROCS.
 	Workers int
+	// ShardSize is the collection shard capacity of the sharded scoring
+	// path; <=0 selects core.DefaultShardSize. Rankings are bit-identical
+	// for every shard size.
+	ShardSize int
 }
 
 // epoch is one immutable snapshot of the indexed collection: the visual
@@ -95,12 +99,15 @@ func NewEngine(visual []linalg.Vector, log *feedbacklog.Log, opts Options) (*Eng
 	// holding (and growing) the original.
 	visual = append([]linalg.Vector(nil), visual...)
 	e := &Engine{opts: opts, log: log}
-	e.cur.Store(&epoch{visual: visual, batch: core.NewCollectionBatch(visual)})
+	e.cur.Store(&epoch{visual: visual, batch: core.NewShardedCollectionBatch(visual, opts.ShardSize)})
 	return e, nil
 }
 
 // NumImages returns the current collection size.
 func (e *Engine) NumImages() int { return len(e.cur.Load().visual) }
+
+// NumShards returns the number of collection shards of the current epoch.
+func (e *Engine) NumShards() int { return e.cur.Load().batch.VisualSet().NumShards() }
 
 // Dim returns the dimensionality of the collection's visual descriptors.
 func (e *Engine) Dim() int { return e.cur.Load().batch.VisualSet().Dim() }
@@ -189,9 +196,42 @@ func (e *Engine) logColumns(ep *epoch) []*sparse.Vector {
 
 // InitialQuery returns the top-k images by Euclidean visual similarity to
 // the query image — the result list a user judges in the first feedback
-// round. It scores the collection through the sharded batch path.
+// round. It streams the collection through the sharded batch path with
+// bounded per-shard selection, so no collection-sized score slice is
+// allocated.
 func (e *Engine) InitialQuery(query, k int) ([]Result, error) {
+	return e.initialQuery(e.cur.Load(), query, k)
+}
+
+// InitialQueryBatch answers many initial queries against one consistent
+// collection epoch: the epoch is loaded once and the pooled per-query
+// scratch arenas are reused across the probes, so the per-probe cost is the
+// scoring pass alone. Results are identical to calling InitialQuery once per
+// probe (against an unchanging collection). Every probe is validated before
+// any is ranked: one bad index fails the whole batch.
+func (e *Engine) InitialQueryBatch(queries []int, k int) ([][]Result, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("retrieval: empty query batch")
+	}
 	ep := e.cur.Load()
+	for _, q := range queries {
+		if q < 0 || q >= len(ep.visual) {
+			return nil, fmt.Errorf("retrieval: query image %d out of range [0,%d)", q, len(ep.visual))
+		}
+	}
+	out := make([][]Result, len(queries))
+	for i, q := range queries {
+		results, err := e.initialQuery(ep, q, k)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = results
+	}
+	return out, nil
+}
+
+// initialQuery ranks one Euclidean probe against a pinned epoch.
+func (e *Engine) initialQuery(ep *epoch, query, k int) ([]Result, error) {
 	if query < 0 || query >= len(ep.visual) {
 		return nil, fmt.Errorf("retrieval: query image %d out of range [0,%d)", query, len(ep.visual))
 	}
@@ -201,11 +241,11 @@ func (e *Engine) InitialQuery(query, k int) ([]Result, error) {
 		Workers: e.opts.Workers,
 		Batch:   ep.batch,
 	}
-	scores, err := core.Euclidean{}.Rank(ctx)
+	ranked, err := core.Euclidean{}.RankTop(ctx, k)
 	if err != nil {
 		return nil, err
 	}
-	return topResults(scores, k), nil
+	return toResults(ranked), nil
 }
 
 // Session is one interactive relevance-feedback session for a single query.
@@ -294,11 +334,11 @@ func (s *Session) Refine(kind SchemeKind, k int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	scores, err := scheme.Rank(ctx)
+	ranked, err := core.RankTop(scheme, ctx, k)
 	if err != nil {
 		return nil, err
 	}
-	return topResults(scores, k), nil
+	return toResults(ranked), nil
 }
 
 // Commit appends the session's judgments to the engine's long-term feedback
@@ -357,11 +397,10 @@ func ParseScheme(s string) (SchemeKind, error) {
 	}
 }
 
-func topResults(scores []float64, k int) []Result {
-	idx := core.TopK(scores, k)
-	out := make([]Result, len(idx))
-	for i, id := range idx {
-		out[i] = Result{Image: id, Score: scores[id]}
+func toResults(ranked []core.Ranked) []Result {
+	out := make([]Result, len(ranked))
+	for i, r := range ranked {
+		out[i] = Result{Image: r.Index, Score: r.Score}
 	}
 	return out
 }

@@ -1,0 +1,148 @@
+package retrieval
+
+import (
+	"fmt"
+	"testing"
+)
+
+// rankingsEqual asserts two full result lists are identical in indices and
+// bit-identical in scores.
+func rankingsEqual(t *testing.T, name string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Image != want[i].Image || got[i].Score != want[i].Score {
+			t.Fatalf("%s: result %d = %+v, want %+v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardBoundaryIngestion grows an engine through ingestion batches that
+// exactly fill, straddle and overflow the fixed-size collection shards, and
+// verifies after every batch that the engine is bit-identical — full initial
+// ranking and a feedback refinement — to an engine rebuilt from scratch over
+// the same collection. Shard layout must depend only on the shard size,
+// never on how ingestion was batched.
+func TestShardBoundaryIngestion(t *testing.T) {
+	const shardSize = 8
+	visual, _, _ := testCollection(t) // 60 images
+	opts := Options{ShardSize: shardSize, Workers: 2}
+
+	e, err := NewEngine(visual[:11], nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		name      string
+		to        int
+		wantShard int
+	}{
+		{"fill tail shard exactly", 16, 2},
+		{"straddle into a new shard", 21, 3},
+		{"overflow multiple shards", 41, 6},
+		{"partial tail", 60, 8},
+	}
+	prev := 11
+	for _, step := range steps {
+		if _, err := e.AddImages(visual[prev:step.to]); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		prev = step.to
+		if got := e.NumShards(); got != step.wantShard {
+			t.Fatalf("%s: %d shards, want %d", step.name, got, step.wantShard)
+		}
+		rebuilt, err := NewEngine(visual[:step.to], nil, opts)
+		if err != nil {
+			t.Fatalf("%s: rebuild: %v", step.name, err)
+		}
+		for _, q := range []int{0, step.to / 2, step.to - 1} {
+			got, err := e.InitialQuery(q, e.NumImages())
+			if err != nil {
+				t.Fatalf("%s: grown query %d: %v", step.name, q, err)
+			}
+			want, err := rebuilt.InitialQuery(q, rebuilt.NumImages())
+			if err != nil {
+				t.Fatalf("%s: rebuilt query %d: %v", step.name, q, err)
+			}
+			rankingsEqual(t, fmt.Sprintf("%s query %d", step.name, q), got, want)
+		}
+	}
+
+	// A feedback round on the fully grown engine matches the rebuilt one.
+	rebuilt, err := NewEngine(visual, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refine := func(e *Engine) []Result {
+		s, err := e.StartSession(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for img := 0; img < 10; img++ {
+			if err := s.Judge(img, img < 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := s.Refine(SchemeRFSVM, e.NumImages())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rankingsEqual(t, "rf-svm refinement", refine(e), refine(rebuilt))
+}
+
+// TestInitialQueryBatch verifies the batched probe path matches per-probe
+// InitialQuery calls and validates every probe up front.
+func TestInitialQueryBatch(t *testing.T) {
+	visual, _, log := testCollection(t)
+	e, err := NewEngine(visual, log, Options{ShardSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{0, 17, 42, 17}
+	batch, err := e.InitialQueryBatch(queries, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("%d result lists, want %d", len(batch), len(queries))
+	}
+	for i, q := range queries {
+		single, err := e.InitialQuery(q, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rankingsEqual(t, fmt.Sprintf("probe %d", q), batch[i], single)
+	}
+	if _, err := e.InitialQueryBatch(nil, 5); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := e.InitialQueryBatch([]int{0, len(visual)}, 5); err == nil {
+		t.Error("out-of-range probe accepted")
+	}
+}
+
+// TestShardSizeInvariance pins rankings across shard sizes: the same
+// collection indexed with different shard sizes must rank bit-identically.
+func TestShardSizeInvariance(t *testing.T) {
+	visual, _, log := testCollection(t)
+	var want []Result
+	for _, shardSize := range []int{0, 1, 7, 16, 1000} {
+		e, err := NewEngine(visual, log.Clone(), Options{ShardSize: shardSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.InitialQuery(5, len(visual))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		rankingsEqual(t, fmt.Sprintf("shardSize=%d", shardSize), got, want)
+	}
+}

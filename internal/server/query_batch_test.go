@@ -1,0 +1,131 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// TestQueryBatchEndpoint verifies the batched probe endpoint returns one
+// bounded result list per probe, identical to per-probe /api/query calls.
+func TestQueryBatchEndpoint(t *testing.T) {
+	srv, _, _ := testServerWithConfig(t, Config{})
+	var batch QueryBatchResponse
+	resp := postJSON(t, srv.URL+"/api/query/batch", QueryBatchRequest{Images: []int{0, 13, 31}, K: 6}, &batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if batch.K != 6 || len(batch.Queries) != 3 {
+		t.Fatalf("k=%d with %d query lists, want 6 and 3", batch.K, len(batch.Queries))
+	}
+	for i, want := range []int{0, 13, 31} {
+		got := batch.Queries[i]
+		if got.Query != want {
+			t.Fatalf("list %d is for query %d, want %d", i, got.Query, want)
+		}
+		if len(got.Results) != 6 {
+			t.Fatalf("query %d returned %d results, want 6", want, len(got.Results))
+		}
+		var single QueryResponse
+		getJSON(t, srv.URL+"/api/query?image="+strconv.Itoa(want)+"&k=6", &single)
+		for j := range single.Results {
+			if single.Results[j] != got.Results[j] {
+				t.Fatalf("query %d result %d differs between batch (%+v) and single (%+v)", want, j, got.Results[j], single.Results[j])
+			}
+		}
+	}
+}
+
+// TestQueryBatchValidation covers the rejection paths of the batch endpoint.
+func TestQueryBatchValidation(t *testing.T) {
+	srv, _, _ := testServerWithConfig(t, Config{MaxBatchQueries: 2})
+	cases := []struct {
+		name string
+		req  QueryBatchRequest
+	}{
+		{"empty batch", QueryBatchRequest{}},
+		{"oversized batch", QueryBatchRequest{Images: []int{0, 1, 2}}},
+		{"negative k", QueryBatchRequest{Images: []int{0}, K: -1}},
+		{"out-of-range probe", QueryBatchRequest{Images: []int{0, 999}}},
+	}
+	for _, c := range cases {
+		if resp := postJSON(t, srv.URL+"/api/query/batch", c.req, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+	if resp := getJSON(t, srv.URL+"/api/query/batch", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on batch endpoint: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestQueryKCapped verifies result lists are capped at the configured MaxK
+// and default to DefaultK, on both the single and the batch query paths and
+// on refinement.
+func TestQueryKCapped(t *testing.T) {
+	srv, _, engine := testServerWithConfig(t, Config{DefaultK: 4, MaxK: 7})
+	n := engine.NumImages()
+
+	// Omitted k selects the default.
+	var q QueryResponse
+	getJSON(t, srv.URL+"/api/query?image=1", &q)
+	if q.K != 4 || len(q.Results) != 4 {
+		t.Fatalf("default: k=%d with %d results, want 4", q.K, len(q.Results))
+	}
+	// A request beyond MaxK is capped, never the full collection.
+	getJSON(t, srv.URL+"/api/query?image=1&k="+strconv.Itoa(10*n), &q)
+	if q.K != 7 || len(q.Results) != 7 {
+		t.Fatalf("capped: k=%d with %d results, want 7", q.K, len(q.Results))
+	}
+	var batch QueryBatchResponse
+	postJSON(t, srv.URL+"/api/query/batch", QueryBatchRequest{Images: []int{2}, K: 10 * n}, &batch)
+	if batch.K != 7 || len(batch.Queries[0].Results) != 7 {
+		t.Fatalf("batch capped: k=%d with %d results, want 7", batch.K, len(batch.Queries[0].Results))
+	}
+
+	// Refinement follows the same default and ceiling.
+	var start StartSessionResponse
+	postJSON(t, srv.URL+"/api/sessions", StartSessionRequest{Query: 1}, &start)
+	judge := JudgeRequest{SessionID: start.SessionID}
+	for img := 0; img < 6; img++ {
+		judge.Judgments = append(judge.Judgments, struct {
+			Image    int  `json:"image"`
+			Relevant bool `json:"relevant"`
+		}{Image: img, Relevant: img < 3})
+	}
+	postJSON(t, srv.URL+"/api/sessions/judge", judge, nil)
+	var refined RefineResponse
+	postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: start.SessionID, Scheme: "rf-svm"}, &refined)
+	if len(refined.Results) != 4 {
+		t.Fatalf("refine default: %d results, want 4", len(refined.Results))
+	}
+	postJSON(t, srv.URL+"/api/sessions/refine", RefineRequest{SessionID: start.SessionID, Scheme: "rf-svm", K: 10 * n}, &refined)
+	if len(refined.Results) != 7 {
+		t.Fatalf("refine capped: %d results, want 7", len(refined.Results))
+	}
+}
+
+// TestStatusReportsShards verifies /api/status exposes the shard count of
+// the current collection epoch.
+func TestStatusReportsShards(t *testing.T) {
+	srv, _, engine := testServerWithConfig(t, Config{})
+	var status StatusResponse
+	getJSON(t, srv.URL+"/api/status", &status)
+	if status.Shards != engine.NumShards() || status.Shards == 0 {
+		t.Fatalf("status shards = %d, engine has %d", status.Shards, engine.NumShards())
+	}
+}
+
+// TestAddImagesCapped verifies ingestion batches beyond the configured
+// limit are rejected while batches at the limit pass.
+func TestAddImagesCapped(t *testing.T) {
+	srv, _, engine := testServerWithConfig(t, Config{MaxIngestImages: 2})
+	img := make([]float64, engine.Dim())
+	over := AddImagesRequest{Images: [][]float64{img, img, img}}
+	if resp := postJSON(t, srv.URL+"/api/images", over, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized ingest batch: status %d, want 400", resp.StatusCode)
+	}
+	var ok AddImagesResponse
+	if resp := postJSON(t, srv.URL+"/api/images", AddImagesRequest{Images: [][]float64{img, img}}, &ok); resp.StatusCode != http.StatusOK || ok.Added != 2 {
+		t.Fatalf("at-limit ingest batch: status %d, added %d", resp.StatusCode, ok.Added)
+	}
+}

@@ -7,11 +7,21 @@
 //
 //	GET  /api/status                      -> collection and log statistics
 //	GET  /api/query?image=ID&k=K          -> initial (Euclidean) results
+//	POST /api/query/batch                 -> many initial queries in one call
 //	POST /api/images                      -> ingest images into the collection
 //	POST /api/sessions                    -> start a feedback session
 //	POST /api/sessions/judge              -> record judgments
 //	POST /api/sessions/refine             -> re-rank with a scheme
 //	POST /api/sessions/commit             -> append the round to the log
+//
+// Every ranking endpoint returns a bounded result list: an omitted or
+// non-positive k selects the configured default (Config.DefaultK, 20 unless
+// overridden) and requests beyond the configured ceiling (Config.MaxK,
+// 1000 unless overridden) are capped, so a single request can never pull a
+// full ranking of an arbitrarily large collection. The batch query endpoint
+// amortizes one collection-epoch load and one pooled scratch arena across
+// all its probe images; batch sizes on /api/query/batch and /api/images are
+// capped as well (Config.MaxBatchQueries, Config.MaxIngestImages).
 //
 // The server is built for sustained traffic: feedback sessions are evicted
 // after an idle TTL (default 30 minutes) and capped at a maximum live count
@@ -43,6 +53,20 @@ type Config struct {
 	// exceed it, the least recently used session is evicted. <=0 selects
 	// 16384.
 	MaxSessions int
+	// DefaultK is the result-list length used when a query or refine
+	// request does not specify k (or specifies k <= 0); <=0 selects 20.
+	DefaultK int
+	// MaxK caps the result-list length of any single request; larger
+	// requests are silently capped, so no request pulls a full ranking of
+	// an arbitrarily large collection. <=0 selects 1000.
+	MaxK int
+	// MaxBatchQueries caps the probe count of one POST /api/query/batch
+	// request; <=0 selects 256.
+	MaxBatchQueries int
+	// MaxIngestImages caps the image count of one POST /api/images
+	// request (the request body is additionally size-limited to what that
+	// many descriptors can plausibly encode); <=0 selects 4096.
+	MaxIngestImages int
 
 	// now overrides the clock; package tests use it to drive TTL eviction
 	// deterministically. Nil selects time.Now.
@@ -51,8 +75,12 @@ type Config struct {
 
 // Defaults for Config's zero values.
 const (
-	DefaultSessionTTL  = 30 * time.Minute
-	DefaultMaxSessions = 16384
+	DefaultSessionTTL      = 30 * time.Minute
+	DefaultMaxSessions     = 16384
+	DefaultResultK         = 20
+	DefaultMaxK            = 1000
+	DefaultMaxBatchQueries = 256
+	DefaultMaxIngestImages = 4096
 )
 
 func (c Config) withDefaults() Config {
@@ -62,10 +90,37 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = DefaultMaxSessions
 	}
+	if c.DefaultK <= 0 {
+		c.DefaultK = DefaultResultK
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = DefaultMaxK
+	}
+	if c.DefaultK > c.MaxK {
+		c.DefaultK = c.MaxK
+	}
+	if c.MaxBatchQueries <= 0 {
+		c.MaxBatchQueries = DefaultMaxBatchQueries
+	}
+	if c.MaxIngestImages <= 0 {
+		c.MaxIngestImages = DefaultMaxIngestImages
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
 	return c
+}
+
+// clampK resolves a requested result-list length against the configured
+// default and ceiling.
+func (s *Server) clampK(k int) int {
+	if k <= 0 {
+		return s.cfg.DefaultK
+	}
+	if k > s.cfg.MaxK {
+		return s.cfg.MaxK
+	}
+	return k
 }
 
 // sessionEntry tracks one live session. The last-use timestamp is atomic so
@@ -228,6 +283,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/status", s.guard(s.handleStatus))
 	mux.HandleFunc("/api/query", s.guard(s.handleQuery))
+	mux.HandleFunc("/api/query/batch", s.guard(s.handleQueryBatch))
 	mux.HandleFunc("/api/images", s.guard(s.handleAddImages))
 	mux.HandleFunc("/api/sessions", s.guard(s.handleStartSession))
 	mux.HandleFunc("/api/sessions/judge", s.guard(s.handleJudge))
@@ -267,6 +323,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 type StatusResponse struct {
 	Images         int `json:"images"`
 	Dim            int `json:"dim"`
+	Shards         int `json:"shards"`
 	LogSessions    int `json:"log_sessions"`
 	ActiveSessions int `json:"active_sessions"`
 }
@@ -279,6 +336,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatusResponse{
 		Images:         s.engine.NumImages(),
 		Dim:            s.engine.Dim(),
+		Shards:         s.engine.NumShards(),
 		LogSessions:    s.engine.NumLogSessions(),
 		ActiveSessions: s.numSessions(),
 	})
@@ -301,6 +359,7 @@ func toResultJSON(rs []retrieval.Result) []ResultJSON {
 // QueryResponse is the payload of GET /api/query.
 type QueryResponse struct {
 	Query   int          `json:"query"`
+	K       int          `json:"k"`
 	Results []ResultJSON `json:"results"`
 }
 
@@ -314,19 +373,71 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid image parameter: %v", err)
 		return
 	}
-	k := 20
+	k := 0
 	if ks := r.URL.Query().Get("k"); ks != "" {
 		if k, err = strconv.Atoi(ks); err != nil || k <= 0 {
 			writeError(w, http.StatusBadRequest, "invalid k parameter")
 			return
 		}
 	}
+	k = s.clampK(k)
 	results, err := s.engine.InitialQuery(image, k)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Query: image, Results: toResultJSON(results)})
+	writeJSON(w, http.StatusOK, QueryResponse{Query: image, K: k, Results: toResultJSON(results)})
+}
+
+// QueryBatchRequest is the payload of POST /api/query/batch: many probe
+// images ranked in one call against one consistent collection epoch. K
+// applies to every probe (0 selects the server default; values beyond the
+// configured ceiling are capped).
+type QueryBatchRequest struct {
+	Images []int `json:"images"`
+	K      int   `json:"k"`
+}
+
+// QueryBatchResponse carries one bounded result list per probe, in request
+// order.
+type QueryBatchResponse struct {
+	K       int             `json:"k"`
+	Queries []QueryResponse `json:"queries"`
+}
+
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req QueryBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if len(req.Images) == 0 {
+		writeError(w, http.StatusBadRequest, "no query images")
+		return
+	}
+	if len(req.Images) > s.cfg.MaxBatchQueries {
+		writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the limit of %d", len(req.Images), s.cfg.MaxBatchQueries)
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, "invalid k")
+		return
+	}
+	k := s.clampK(req.K)
+	lists, err := s.engine.InitialQueryBatch(req.Images, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := QueryBatchResponse{K: k, Queries: make([]QueryResponse, len(lists))}
+	for i, results := range lists {
+		resp.Queries[i] = QueryResponse{Query: req.Images[i], K: k, Results: toResultJSON(results)}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // AddImagesRequest is the payload of POST /api/images: the visual
@@ -351,6 +462,11 @@ func (s *Server) handleAddImages(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	// Bound the buffered payload before decoding: a descriptor component
+	// encodes in well under 32 bytes of JSON, so this admits any legitimate
+	// batch up to MaxIngestImages while refusing multi-gigabyte bodies.
+	dim := s.engine.Dim()
+	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxIngestImages)*int64(dim+1)*32)
 	var req AddImagesRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
@@ -358,6 +474,10 @@ func (s *Server) handleAddImages(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Images) == 0 {
 		writeError(w, http.StatusBadRequest, "no images to add")
+		return
+	}
+	if len(req.Images) > s.cfg.MaxIngestImages {
+		writeError(w, http.StatusBadRequest, "batch of %d images exceeds the limit of %d", len(req.Images), s.cfg.MaxIngestImages)
 		return
 	}
 	descriptors := make([]linalg.Vector, len(req.Images))
@@ -470,9 +590,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown or expired session %d", req.SessionID)
 		return
 	}
-	if req.K <= 0 {
-		req.K = 20
-	}
+	req.K = s.clampK(req.K)
 	if req.Scheme == "" {
 		req.Scheme = string(retrieval.SchemeLRFCSVM)
 	}

@@ -14,6 +14,12 @@ import (
 
 func testServer(t *testing.T) (*httptest.Server, []int) {
 	t.Helper()
+	srv, labels, _ := testServerWithConfig(t, Config{})
+	return srv, labels
+}
+
+func testServerWithConfig(t *testing.T, cfg Config) (*httptest.Server, []int, *retrieval.Engine) {
+	t.Helper()
 	rng := linalg.NewRNG(5)
 	var visual []linalg.Vector
 	var labels []int
@@ -29,17 +35,17 @@ func testServer(t *testing.T) (*httptest.Server, []int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	engine, err := retrieval.NewEngine(visual, log, retrieval.Options{})
+	engine, err := retrieval.NewEngine(visual, log, retrieval.Options{ShardSize: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(engine)
+	s := NewWithConfig(engine, cfg)
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		srv.Close()
 		s.Close()
 	})
-	return srv, labels
+	return srv, labels, engine
 }
 
 func getJSON(t *testing.T, url string, out interface{}) *http.Response {
