@@ -46,6 +46,7 @@ func main() {
 		shardSize    = flag.Int("shard-size", 0, "collection shard capacity of the scoring path (0 = library default; rankings are identical for every value)")
 		defaultK     = flag.Int("default-k", server.DefaultResultK, "result-list length when a request omits k")
 		maxK         = flag.Int("max-k", server.DefaultMaxK, "hard cap on the result-list length of any request")
+		trainWorkers = flag.Int("train-workers", 0, "feedback-training concurrency: size of the async-refine worker pool and of each round's coupled modality training (0 = library default)")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cbirserver:", err)
 		os.Exit(1)
 	}
-	engine, err := retrieval.NewEngine(visual, fblog, retrieval.Options{ShardSize: *shardSize})
+	engine, err := retrieval.NewEngine(visual, fblog, retrieval.Options{ShardSize: *shardSize, TrainWorkers: *trainWorkers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbirserver:", err)
 		os.Exit(1)

@@ -11,6 +11,9 @@
 //	lrfbench -dataset 20 -ablation rho        # rho-ceiling ablation
 //	lrfbench -profile ci -benchquery          # query-path ns/op + allocs/op,
 //	                                          # written to BENCH_query.json
+//	lrfbench -profile ci -benchtrain          # feedback-training lanes
+//	                                          # (TrainCoupled), written to
+//	                                          # BENCH_train.json
 package main
 
 import (
@@ -32,7 +35,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		ablation    = flag.String("ablation", "", "run an ablation instead of the main table: selection, rho, delta, unlabeled, logkernel")
 		benchquery  = flag.Bool("benchquery", false, "benchmark the query hot path (-benchmem statistics) instead of the main table")
-		benchout    = flag.String("benchout", "BENCH_query.json", "output path of the machine-readable -benchquery report")
+		benchtrain  = flag.Bool("benchtrain", false, "benchmark the feedback-training path (core.TrainCoupled lanes) instead of the main table")
+		benchout    = flag.String("benchout", "", "output path of the machine-readable benchmark report (default BENCH_query.json / BENCH_train.json by mode)")
 	)
 	flag.Parse()
 
@@ -59,7 +63,23 @@ func main() {
 		time.Since(start).Round(time.Millisecond), 100*exp.LogStats.CoverageFraction, exp.LogStats.TotalJudgments)
 
 	if *benchquery {
-		if err := runQueryBench(exp, *profile, *benchout); err != nil {
+		out := *benchout
+		if out == "" {
+			out = "BENCH_query.json"
+		}
+		if err := runQueryBench(exp, *profile, out); err != nil {
+			fmt.Fprintln(os.Stderr, "lrfbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *benchtrain {
+		out := *benchout
+		if out == "" {
+			out = "BENCH_train.json"
+		}
+		if err := runTrainBench(exp, *profile, out); err != nil {
 			fmt.Fprintln(os.Stderr, "lrfbench:", err)
 			os.Exit(1)
 		}

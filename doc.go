@@ -55,6 +55,33 @@
 // (default 16384, least-recently-used evicted first), and Server.Close
 // shuts the session layer down gracefully.
 //
+// # Feedback training
+//
+// The per-round training cost is carried by an SMO solver tuned for
+// repeated retraining: pair selection is fused into the gradient-update
+// loop, solver scratch is pooled across runs, warm starts can carry the
+// previous solution and its exact gradient (svm.Config.WarmAlpha /
+// WarmGrad / FinalGrad), and an opt-in shrinking heuristic
+// (svm.Config.Shrinking) deactivates bound-pinned variables, re-verifying
+// the KKT criterion over the full problem before convergence is declared.
+// The coupled trainer (core.TrainCoupled) reads unlabeled decision values
+// from its shared kernel caches and trains the modalities of each
+// alternation step concurrently (core.CoupledConfig.Workers) — the default
+// configuration stays bit-identical to sequential cold-start training,
+// pinned by the golden MAP regression and the solver property suite in
+// internal/svm.
+//
+// Refinement rounds can run asynchronously: Session.RefineAsync (HTTP:
+// POST /api/refine?async=1) submits the round to a bounded engine-wide
+// training pool (retrieval.Options.TrainWorkers, cbirserver
+// -train-workers) and returns a round token at once; rounds are polled
+// via Session.RefineStatus (GET /api/refine/status) or read through
+// Session.LatestRefined, which only ever moves forward — queries keep
+// being served from the previous ranking until the new one lands, the
+// same publish-then-swap discipline the collection epochs use. An
+// engine-wide cap (Options.MaxPendingRefines) rejects submission bursts
+// instead of queueing unbounded training work.
+//
 // Start with the README for an architecture overview, DESIGN.md for the
 // system inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-versus-measured results. The public entry points live under

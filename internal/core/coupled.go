@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"lrfcsvm/internal/kernel"
 	"lrfcsvm/internal/svm"
@@ -52,8 +54,17 @@ type CoupledConfig struct {
 	// approximate solution within the solver tolerance, so ranking results
 	// are no longer bit-identical to cold-started training (ablation MAPs
 	// move in the 4th decimal; see EXPERIMENTS.md). Off by default to keep
-	// results exactly reproducible.
+	// results exactly reproducible. Combined with Solver.Shrinking it is
+	// the documented fast lane of the feedback-training path (see
+	// EXPERIMENTS.md for the drift characterization and speedups).
 	WarmStart bool
+	// Workers bounds the goroutines that train the modalities of one
+	// alternation step concurrently; <=1 trains sequentially. The
+	// modalities of a step share no mutable state — each has its own
+	// kernel cache, problem buffers and solver scratch — and per-modality
+	// training is deterministic, so results are bit-identical for every
+	// worker count.
+	Workers int
 	// Solver tunes the underlying SMO solver.
 	Solver svm.Config
 }
@@ -96,6 +107,11 @@ type CoupledResult struct {
 	Retrainings int
 	// RhoSteps counts outer annealing iterations.
 	RhoSteps int
+	// SolverIterations totals the SMO pair updates across every retraining,
+	// and SolverShrinks the shrink passes (zero unless Solver.Shrinking is
+	// enabled) — the training-cost diagnostics tracked by BENCH_train.json.
+	SolverIterations int
+	SolverShrinks    int
 }
 
 // Decision evaluates the coupled decision value of a point given its
@@ -163,16 +179,23 @@ func TrainCoupled(modalities []Modality, labels []float64, initialUnlabeled []fl
 	}
 
 	// With no unlabeled points the coupled SVM degenerates to independent
-	// per-modality SVMs on the labeled data.
+	// per-modality SVMs on the labeled data (still trained concurrently
+	// when Workers allows).
 	if nu == 0 {
-		for m, mod := range modalities {
-			model, err := trainModality(mod.Labeled, labels, mod.C, mod.Kernel, cfg.Solver)
+		err := forEachModality(len(modalities), cfg.Workers, func(m int) error {
+			mod := modalities[m]
+			model, err := trainModality(mod.Labeled, labels, mod.C, mod.Kernel, perModalitySolverConfig(cfg.Solver))
 			if err != nil {
-				return nil, fmt.Errorf("core: modality %q: %w", mod.Name, err)
+				return fmt.Errorf("core: modality %q: %w", mod.Name, err)
 			}
 			result.Models[m] = model
-			result.Retrainings++
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		result.Retrainings += len(modalities)
+		result.tallySolverStats()
 		return result, nil
 	}
 
@@ -206,34 +229,69 @@ func TrainCoupled(modalities []Modality, labels []float64, initialUnlabeled []fl
 		caches[m] = kernel.NewCache(mod.Kernel, points[m], cfg.Solver.CacheRows)
 	}
 
+	// The unlabeled decision values are allocated once per modality and
+	// reused across every retraining. With cfg.WarmStart, finalGrad
+	// additionally carries each modality's exact solver gradient from one
+	// retraining to the next: it stays valid across rho steps (the
+	// gradient does not depend on the costs) and is dropped as soon as a
+	// label correction changes Y' (gradValid), so the solver never sees a
+	// stale gradient.
+	decisions := make([][]float64, len(modalities))
+	finalGrad := make([][]float64, len(modalities))
+	for m := range modalities {
+		decisions[m] = make([]float64, nu)
+		if cfg.WarmStart {
+			finalGrad[m] = make([]float64, nl+nu)
+		}
+	}
+	gradValid := false
+
 	// trainAll trains every modality on labeled + unlabeled points with the
 	// current Y' and per-sample costs (C for labeled, rho*C for unlabeled)
-	// and returns, per modality, the decision value of every unlabeled point.
-	trainAll := func(rho float64) ([][]float64, error) {
-		decisions := make([][]float64, len(modalities))
+	// and refreshes, per modality, the decision value of every unlabeled
+	// point. With cfg.Workers > 1 the modalities train concurrently: they
+	// share only immutable state (the patched ys slice is written before
+	// any goroutine starts and read-only during training), so the result
+	// is bit-identical to the sequential order.
+	trainAll := func(rho float64) error {
 		copy(ys[nl:], result.UnlabeledLabels)
 		for m, mod := range modalities {
 			for i := 0; i < nu; i++ {
 				costs[m][nl+i] = rho * mod.C
 			}
-			cfgSolver := cfg.Solver
+		}
+		err := forEachModality(len(modalities), cfg.Workers, func(m int) error {
+			mod := modalities[m]
+			cfgSolver := perModalitySolverConfig(cfg.Solver)
 			cfgSolver.Kernel = mod.Kernel
 			cfgSolver.SharedCache = caches[m]
+			// Most models of the alternating optimization are discarded
+			// after updateLabels reads their alphas; the final ones are
+			// expanded just before TrainCoupled returns.
+			cfgSolver.OmitSupportVectors = true
 			if cfg.WarmStart {
 				cfgSolver.WarmAlpha = warm[m]
+				if gradValid {
+					cfgSolver.WarmGrad = finalGrad[m]
+				}
+				cfgSolver.FinalGrad = finalGrad[m]
 			}
 			model, err := svm.Train(svm.Problem{Points: points[m], Labels: ys, C: costs[m]}, cfgSolver)
 			if err != nil {
-				return nil, fmt.Errorf("core: modality %q: %w", mod.Name, err)
+				return fmt.Errorf("core: modality %q: %w", mod.Name, err)
 			}
 			result.Models[m] = model
-			result.Retrainings++
 			warm[m] = model.Alphas
-			dec := make([]float64, nu)
-			model.DecisionBatch(mod.Unlabeled, dec, nil)
-			decisions[m] = dec
+			decisionsFromCache(model, caches[m], ys, nl, decisions[m])
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		return decisions, nil
+		gradValid = cfg.WarmStart
+		result.Retrainings += len(modalities)
+		result.tallySolverStats()
+		return nil
 	}
 
 	// updateLabels performs the second AO step of Section 4.2: with the
@@ -242,7 +300,7 @@ func TrainCoupled(modalities []Modality, labels []float64, initialUnlabeled []fl
 	// changes when the loss reduction exceeds Delta (the Fig. 1 guard
 	// against overlarge changes to the label set), which also makes the
 	// alternation monotone and convergent rather than oscillating.
-	updateLabels := func(decisions [][]float64) int {
+	updateLabels := func() int {
 		changed := 0
 		for i := 0; i < nu; i++ {
 			current := result.UnlabeledLabels[i]
@@ -259,11 +317,13 @@ func TrainCoupled(modalities []Modality, labels []float64, initialUnlabeled []fl
 		result.Flips += changed
 		if changed > 0 {
 			// A flipped label changes the sign structure of the dual
-			// problem; the previous alphas are no longer a feasible warm
-			// start, so the next training cold-starts.
+			// problem: the previous alphas are no longer a feasible warm
+			// start and the carried solver gradients are stale, so the
+			// next training cold-starts.
 			for m := range warm {
 				warm[m] = nil
 			}
+			gradValid = false
 		}
 		return changed
 	}
@@ -274,36 +334,140 @@ func TrainCoupled(modalities []Modality, labels []float64, initialUnlabeled []fl
 	// stable or the iteration bound is hit.
 	for rho := cfg.RhoInit; rho < cfg.Rho; rho = minFloat(2*rho, cfg.Rho) {
 		result.RhoSteps++
-		decisions, err := trainAll(rho)
-		if err != nil {
+		if err := trainAll(rho); err != nil {
 			return nil, err
 		}
 		for iter := 0; iter < cfg.MaxCorrectionIters; iter++ {
-			if updateLabels(decisions) == 0 {
+			if updateLabels() == 0 {
 				break
 			}
-			decisions, err = trainAll(rho)
-			if err != nil {
+			if err := trainAll(rho); err != nil {
 				return nil, err
 			}
 		}
 	}
 	// Final pass at the full weight rho, again alternating until stable.
 	result.RhoSteps++
-	decisions, err := trainAll(cfg.Rho)
-	if err != nil {
+	if err := trainAll(cfg.Rho); err != nil {
 		return nil, err
 	}
 	for iter := 0; iter < cfg.MaxCorrectionIters; iter++ {
-		if updateLabels(decisions) == 0 {
+		if updateLabels() == 0 {
 			break
 		}
-		decisions, err = trainAll(cfg.Rho)
-		if err != nil {
+		if err := trainAll(cfg.Rho); err != nil {
 			return nil, err
 		}
 	}
+	// Only the final models are kept by callers; expand the
+	// support-vector lists the intermediate retrainings skipped. ys still
+	// holds the labels of the last training run, which is what the
+	// expansion must see even when a trailing correction pass flipped
+	// labels without retraining.
+	for m := range result.Models {
+		result.Models[m].ExpandSupport(points[m], ys)
+	}
 	return result, nil
+}
+
+// perModalitySolverConfig strips the per-problem solver fields a caller may
+// have set on CoupledConfig.Solver: the kernel cache and the warm-start /
+// gradient buffers belong to one specific training problem and must never
+// be shared by the several (possibly concurrent) modality trainings this
+// package fans out — the cache is documented as not concurrency-safe and
+// FinalGrad is written by the solver. trainAll re-derives each of them per
+// modality after this reset.
+func perModalitySolverConfig(cfg svm.Config) svm.Config {
+	cfg.SharedCache = nil
+	cfg.WarmAlpha = nil
+	cfg.WarmGrad = nil
+	cfg.FinalGrad = nil
+	return cfg
+}
+
+// decisionsFromCache fills dec[i] with the decision value of training point
+// nl+i — the unlabeled points the label-correction step inspects — from the
+// already-cached kernel rows of the training problem:
+// f(x_t) = b + sum_j alpha_j y_j K(x_j, x_t). Every support vector's row was
+// fetched during training (a pair update or gradient reconstruction touched
+// it), so this costs zero kernel evaluations, where Model.DecisionBatch
+// would re-evaluate every (support vector, unlabeled) pair each retraining.
+// The summation order (ascending j over alpha_j > 0, bias first) and every
+// operand match DecisionBatch over the same points, so the values — and
+// therefore the default-config rankings — are bit-identical.
+func decisionsFromCache(model *svm.Model, cache *kernel.Cache, ys []float64, nl int, dec []float64) {
+	for i := range dec {
+		dec[i] = model.Bias
+	}
+	for j, a := range model.Alphas {
+		if a == 0 {
+			continue
+		}
+		row := cache.Row(j)
+		c := a * ys[j]
+		for i := range dec {
+			dec[i] += c * row[nl+i]
+		}
+	}
+}
+
+// tallySolverStats accumulates the per-model solver diagnostics of the most
+// recent training round into the result's totals.
+func (r *CoupledResult) tallySolverStats() {
+	for _, m := range r.Models {
+		if m != nil {
+			r.SolverIterations += m.Iterations
+			r.SolverShrinks += m.Shrinks
+		}
+	}
+}
+
+// forEachModality runs fn(m) for every modality index. With workers > 1 the
+// calls run concurrently (bounded by workers); the returned error is always
+// the lowest-index failure, so error reporting is deterministic too. The
+// calling goroutine participates in the work, so the two-modality case —
+// every alternation step of the coupled SVM — spawns a single goroutine per
+// call, which keeps the dispatch overhead small against the sub-millisecond
+// trainings of typical feedback rounds.
+func forEachModality(n, workers int, fn func(m int) error) error {
+	if workers <= 1 || n <= 1 {
+		for m := 0; m < n; m++ {
+			if err := fn(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	work := func() {
+		for {
+			m := int(next.Add(1)) - 1
+			if m >= n {
+				return
+			}
+			errs[m] = fn(m)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // hinge is the hinge loss max(0, 1-margin).

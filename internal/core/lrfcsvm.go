@@ -97,12 +97,11 @@ func (s LRFCSVM) Rank(ctx *QueryContext) ([]float64, error) {
 	return res.Scores, nil
 }
 
-// train runs steps 1-2 of Fig. 1: unlabeled selection and the annealed
-// coupled-SVM optimization. Both steps need full combined scores of the
-// whole collection (the selection heuristic ranks every candidate), so only
-// step 3 — the final retrieval pass — can stream through bounded top-K
-// selection.
-func (s LRFCSVM) train(ctx *QueryContext, batch *CollectionBatch, p CSVMParams) (coupled *CoupledResult, unlabeledIdx []int, err error) {
+// trainingProblem runs step 1 of Fig. 1 — the per-modality initial SVMs and
+// the unlabeled selection — and assembles the coupled training problem. The
+// two initial trainings are independent, so with Coupled.Workers > 1 they
+// run concurrently (bit-identical to the sequential order).
+func (s LRFCSVM) trainingProblem(ctx *QueryContext, batch *CollectionBatch, p CSVMParams) (modalities []Modality, labels, initialLabels []float64, unlabeledIdx []int, err error) {
 	labeledIdx, labels := labeledSplit(ctx)
 
 	// Step 1 — select N' unlabeled samples. Train one SVM per modality on
@@ -113,13 +112,25 @@ func (s LRFCSVM) train(ctx *QueryContext, batch *CollectionBatch, p CSVMParams) 
 	// score with initial label -1 (Fig. 1, step 1, the discussion in
 	// Section 6.5, and the log-assisted selection of Hoi & Lyu ACM-MM'04;
 	// see logAssistedSelection).
-	visualInit, err := trainModality(ctx.visualPoints(labeledIdx), labels, p.Cw, p.VisualKernel, p.Coupled.Solver)
+	var visualInit, logInit *svm.Model
+	err = forEachModality(2, p.Coupled.Workers, func(m int) error {
+		if m == 0 {
+			model, err := trainModality(ctx.visualPoints(labeledIdx), labels, p.Cw, p.VisualKernel, perModalitySolverConfig(p.Coupled.Solver))
+			if err != nil {
+				return fmt.Errorf("core: LRF-CSVM visual init: %w", err)
+			}
+			visualInit = model
+			return nil
+		}
+		model, err := trainModality(ctx.logPoints(labeledIdx), labels, p.Cu, p.LogKernel, perModalitySolverConfig(p.Coupled.Solver))
+		if err != nil {
+			return fmt.Errorf("core: LRF-CSVM log init: %w", err)
+		}
+		logInit = model
+		return nil
+	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: LRF-CSVM visual init: %w", err)
-	}
-	logInit, err := trainModality(ctx.logPoints(labeledIdx), labels, p.Cu, p.LogKernel, p.Coupled.Solver)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: LRF-CSVM log init: %w", err)
+		return nil, nil, nil, nil, err
 	}
 
 	n := ctx.NumImages()
@@ -131,11 +142,9 @@ func (s LRFCSVM) train(ctx *QueryContext, batch *CollectionBatch, p CSVMParams) 
 			candidates = append(candidates, i)
 		}
 	}
-	unlabeledIdx, initialLabels := logAssistedSelection(ctx, candidates, combined, p.NumUnlabeled)
+	unlabeledIdx, initialLabels = logAssistedSelection(ctx, candidates, combined, p.NumUnlabeled)
 
-	// Step 2 — train the coupled SVM with annealed unlabeled weighting and
-	// label correction.
-	modalities := []Modality{
+	modalities = []Modality{
 		{
 			Name:      "visual",
 			Kernel:    p.VisualKernel,
@@ -151,6 +160,37 @@ func (s LRFCSVM) train(ctx *QueryContext, batch *CollectionBatch, p CSVMParams) 
 			Unlabeled: ctx.logPoints(unlabeledIdx),
 		},
 	}
+	return modalities, labels, initialLabels, unlabeledIdx, nil
+}
+
+// TrainingProblem extracts the coupled-SVM training problem — modalities,
+// labeled-set labels and initial unlabeled labels — that this scheme would
+// hand to TrainCoupled for the given context, unlabeled selection included.
+// It exists so benchmarks and tools (lrfbench -benchtrain) can measure
+// TrainCoupled on exactly the problems the feedback path produces.
+func (s LRFCSVM) TrainingProblem(ctx *QueryContext) ([]Modality, []float64, []float64, error) {
+	if err := ctx.Validate(true); err != nil {
+		return nil, nil, nil, err
+	}
+	batch := ctx.collectionBatch()
+	p := s.Params.withDefaults(ctx, batch)
+	modalities, labels, initialLabels, _, err := s.trainingProblem(ctx, batch, p)
+	return modalities, labels, initialLabels, err
+}
+
+// train runs steps 1-2 of Fig. 1: unlabeled selection and the annealed
+// coupled-SVM optimization. Both steps need full combined scores of the
+// whole collection (the selection heuristic ranks every candidate), so only
+// step 3 — the final retrieval pass — can stream through bounded top-K
+// selection.
+func (s LRFCSVM) train(ctx *QueryContext, batch *CollectionBatch, p CSVMParams) (coupled *CoupledResult, unlabeledIdx []int, err error) {
+	modalities, labels, initialLabels, unlabeledIdx, err := s.trainingProblem(ctx, batch, p)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Step 2 — train the coupled SVM with annealed unlabeled weighting and
+	// label correction.
 	coupled, err = TrainCoupled(modalities, labels, initialLabels, p.Coupled)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: LRF-CSVM coupled training: %w", err)
@@ -434,11 +474,11 @@ func (s LRFCSVMWithSelection) Rank(ctx *QueryContext) ([]float64, error) {
 		labeledIdx[i] = ex.Index
 		labels[i] = ex.Label
 	}
-	visualInit, err := trainModality(ctx.visualPoints(labeledIdx), labels, p.Cw, p.VisualKernel, p.Coupled.Solver)
+	visualInit, err := trainModality(ctx.visualPoints(labeledIdx), labels, p.Cw, p.VisualKernel, perModalitySolverConfig(p.Coupled.Solver))
 	if err != nil {
 		return nil, err
 	}
-	logInit, err := trainModality(ctx.logPoints(labeledIdx), labels, p.Cu, p.LogKernel, p.Coupled.Solver)
+	logInit, err := trainModality(ctx.logPoints(labeledIdx), labels, p.Cu, p.LogKernel, perModalitySolverConfig(p.Coupled.Solver))
 	if err != nil {
 		return nil, err
 	}

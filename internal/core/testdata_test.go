@@ -24,7 +24,7 @@ type syntheticCollection struct {
 // the real datasets: visual distance alone cannot bridge the two modes of a
 // category, while the feedback log links them. Log vectors come from the
 // feedback-log simulator.
-func makeCollection(t *testing.T, nCat, nPer, sessions int, noise float64, seed uint64) *syntheticCollection {
+func makeCollection(t testing.TB, nCat, nPer, sessions int, noise float64, seed uint64) *syntheticCollection {
 	t.Helper()
 	rng := linalg.NewRNG(seed)
 	var visual []linalg.Vector

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+)
+
+// benchCoupledSetup builds a realistic feedback-round training problem: a
+// CI20-sized collection, one query's judged neighborhood as the labeled set
+// and a drafted unlabeled set, in both modalities — exactly the problem
+// LRFCSVM hands to TrainCoupled every refinement round.
+func benchCoupledSetup(b *testing.B) (modalities []Modality, labels, initial []float64, cfg CoupledConfig) {
+	b.Helper()
+	coll := makeCollection(b, 8, 24, 60, 0, 5)
+	ctx := coll.queryContext(3, 15)
+	batch := NewCollectionBatch(ctx.Visual)
+	ctx.Batch = batch
+	p := DefaultCSVMParams().withDefaults(ctx, batch)
+
+	labeledIdx := make([]int, len(ctx.Labeled))
+	labels = make([]float64, len(ctx.Labeled))
+	for i, ex := range ctx.Labeled {
+		labeledIdx[i] = ex.Index
+		labels[i] = ex.Label
+	}
+	// Draft the unlabeled set deterministically: the first NumUnlabeled
+	// non-labeled images, alternating initial labels.
+	labeledSet := ctx.labeledSet()
+	var unlabeledIdx []int
+	for i := 0; i < ctx.NumImages() && len(unlabeledIdx) < p.NumUnlabeled; i++ {
+		if !labeledSet[i] {
+			unlabeledIdx = append(unlabeledIdx, i)
+			if len(unlabeledIdx)%2 == 0 {
+				initial = append(initial, 1)
+			} else {
+				initial = append(initial, -1)
+			}
+		}
+	}
+	modalities = []Modality{
+		{Name: "visual", Kernel: p.VisualKernel, C: p.Cw, Labeled: ctx.visualPoints(labeledIdx), Unlabeled: ctx.visualPoints(unlabeledIdx)},
+		{Name: "log", Kernel: p.LogKernel, C: p.Cu, Labeled: ctx.logPoints(labeledIdx), Unlabeled: ctx.logPoints(unlabeledIdx)},
+	}
+	return modalities, labels, initial, p.Coupled
+}
+
+// BenchmarkTrainCoupled measures the feedback-training hot path across its
+// configuration lanes: the bit-exact default (sequential, cold start, no
+// shrinking), concurrent modality training, the shrinking solver, and the
+// full fast lane (Workers + shrinking + warm start). The before/after pair
+// of EXPERIMENTS.md and BENCH_train.json is baseline vs fastlane-w4.
+func BenchmarkTrainCoupled(b *testing.B) {
+	modalities, labels, initial, base := benchCoupledSetup(b)
+	for _, lane := range TrainLanes() {
+		cfg := base
+		lane.Apply(&cfg)
+		b.Run(lane.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := TrainCoupled(modalities, labels, initial, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"lrfcsvm/internal/core"
+	"lrfcsvm/internal/kernel"
+	"lrfcsvm/internal/svm"
+)
+
+// TestShrinkingParityCI20 is the fixture-level shrinking-parity acceptance
+// test: on the exact training problems the LRF-CSVM feedback path produces
+// over the CI 20-Category profile — the per-modality labeled problems and
+// the coupled labeled+unlabeled problems across the rho annealing schedule
+// — the shrinking solver must reach the same support set and decision
+// values (within solver tolerance) as the unshrunk solver. Together with
+// TestGoldenMAPRegression (which pins the default, shrinking-off
+// configuration bit-exactly) this bounds what the shrinking fast lane may
+// change.
+func TestShrinkingParityCI20(t *testing.T) {
+	exp, err := Prepare(CI20(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := exp.SampleQueries()
+	if len(queries) > 3 {
+		queries = queries[:3]
+	}
+	scheme := core.LRFCSVM{Params: exp.Config.CSVM}
+	for _, q := range queries {
+		ctx := exp.QueryContext(q)
+		modalities, labels, initial, err := scheme.TrainingProblem(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mod := range modalities {
+			cfg := svm.Config{Kernel: mod.Kernel}
+			// The initial per-modality SVM of Fig. 1 step 1: labeled only.
+			checkShrinkParity(t, fmt.Sprintf("query %d %s labeled", q, mod.Name),
+				svm.NewProblem(mod.Labeled, labels, mod.C), cfg)
+
+			// The coupled problems of Fig. 1 step 2, at the extremes and
+			// middle of the rho schedule: labeled points keep cost C,
+			// unlabeled points are weighted rho*C and carry Y'.
+			points := append(append([]kernel.Point(nil), mod.Labeled...), mod.Unlabeled...)
+			ys := append(append([]float64(nil), labels...), initial...)
+			for _, rho := range []float64{1e-4, 0.1, 1} {
+				costs := make([]float64, len(points))
+				for i := range costs {
+					if i < len(mod.Labeled) {
+						costs[i] = mod.C
+					} else {
+						costs[i] = rho * mod.C
+					}
+				}
+				checkShrinkParity(t, fmt.Sprintf("query %d %s coupled rho=%g", q, mod.Name, rho),
+					svm.Problem{Points: points, Labels: ys, C: costs}, cfg)
+			}
+		}
+	}
+}
+
+func checkShrinkParity(t *testing.T, name string, p svm.Problem, cfg svm.Config) {
+	t.Helper()
+	plain, err := svm.Train(p, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	cfgS := cfg
+	cfgS.Shrinking = true
+	shrunk, err := svm.Train(p, cfgS)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !plain.Converged || !shrunk.Converged {
+		t.Errorf("%s: convergence plain=%v shrunk=%v", name, plain.Converged, shrunk.Converged)
+		return
+	}
+	for i := range p.Points {
+		if (plain.Alphas[i] > 0) != (shrunk.Alphas[i] > 0) {
+			t.Errorf("%s: support sets differ at %d (plain %v, shrunk %v)",
+				name, i, plain.Alphas[i], shrunk.Alphas[i])
+		}
+	}
+	maxDiff := 0.0
+	for _, pt := range p.Points {
+		if d := math.Abs(plain.Decision(pt) - shrunk.Decision(pt)); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-2 {
+		t.Errorf("%s: decision values differ by %v", name, maxDiff)
+	}
+}

@@ -50,7 +50,25 @@ type Options struct {
 	// path; <=0 selects core.DefaultShardSize. Rankings are bit-identical
 	// for every shard size.
 	ShardSize int
+	// TrainWorkers bounds the feedback-training concurrency: it sizes the
+	// asynchronous-refinement worker pool (how many training jobs run at
+	// once) and, unless CSVM.Coupled.Workers is already set, is threaded
+	// into the coupled trainer so the two modality SVMs of each
+	// alternation train concurrently. <=0 selects 2. Training results are
+	// bit-identical for every value.
+	TrainWorkers int
+	// MaxPendingRefines caps the asynchronous refinements queued or
+	// running engine-wide; RefineAsync fails fast once it is reached so a
+	// burst of feedback rounds cannot pile up unbounded training work.
+	// <=0 selects 64.
+	MaxPendingRefines int
 }
+
+// Defaults for Options' zero values.
+const (
+	DefaultTrainWorkers      = 2
+	DefaultMaxPendingRefines = 64
+)
 
 // epoch is one immutable snapshot of the indexed collection: the visual
 // descriptors and the collection-level precomputation built over them.
@@ -79,6 +97,12 @@ type Engine struct {
 	log         *feedbacklog.Log
 	logVectors  []*sparse.Vector // incremental column cache, see logColumns
 	logSessions int              // sessions covered by logVectors
+
+	// trainSem bounds concurrently running asynchronous training jobs
+	// (capacity Options.TrainWorkers); pendingRefines counts queued plus
+	// running jobs against Options.MaxPendingRefines.
+	trainSem       chan struct{}
+	pendingRefines atomic.Int64
 }
 
 // NewEngine builds an engine over a collection of visual descriptors and an
@@ -98,7 +122,16 @@ func NewEngine(visual []linalg.Vector, log *feedbacklog.Log, opts Options) (*Eng
 	// epoch's slice when ingesting, which must never collide with a caller
 	// holding (and growing) the original.
 	visual = append([]linalg.Vector(nil), visual...)
-	e := &Engine{opts: opts, log: log}
+	if opts.TrainWorkers <= 0 {
+		opts.TrainWorkers = DefaultTrainWorkers
+	}
+	if opts.MaxPendingRefines <= 0 {
+		opts.MaxPendingRefines = DefaultMaxPendingRefines
+	}
+	if opts.CSVM.Coupled.Workers <= 0 {
+		opts.CSVM.Coupled.Workers = opts.TrainWorkers
+	}
+	e := &Engine{opts: opts, log: log, trainSem: make(chan struct{}, opts.TrainWorkers)}
 	e.cur.Store(&epoch{visual: visual, batch: core.NewShardedCollectionBatch(visual, opts.ShardSize)})
 	return e, nil
 }
@@ -258,6 +291,13 @@ type Session struct {
 	mu        sync.Mutex
 	judgments map[int]bool // image -> relevant?
 	committed bool
+
+	// Asynchronous refinement rounds (see refine.go): rounds and nextToken
+	// are guarded by mu; latest publishes the most recent completed round
+	// for lock-free readers.
+	rounds    map[int]*refineRound
+	nextToken int
+	latest    atomic.Pointer[RefineRound]
 }
 
 // StartSession begins a feedback session for the given query image.

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"lrfcsvm/internal/retrieval"
+)
+
+// startJudgedSession drives the HTTP flow up to a judged session and
+// returns its id.
+func startJudgedSession(t *testing.T, srv *httptest.Server, labels []int, query int) int {
+	t.Helper()
+	var start StartSessionResponse
+	resp := postJSON(t, srv.URL+"/api/sessions", StartSessionRequest{Query: query}, &start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("start session: %d", resp.StatusCode)
+	}
+	var q QueryResponse
+	getJSON(t, srv.URL+fmt.Sprintf("/api/query?image=%d&k=8", query), &q)
+	judge := JudgeRequest{SessionID: start.SessionID}
+	for _, r := range q.Results {
+		judge.Judgments = append(judge.Judgments, struct {
+			Image    int  `json:"image"`
+			Relevant bool `json:"relevant"`
+		}{Image: r.Image, Relevant: labels[r.Image] == labels[query]})
+	}
+	if resp := postJSON(t, srv.URL+"/api/sessions/judge", judge, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("judge: %d", resp.StatusCode)
+	}
+	return start.SessionID
+}
+
+// pollRound polls GET /api/refine/status until the round completes.
+func pollRound(t *testing.T, srv *httptest.Server, session, round int) RefineStatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var status RefineStatusResponse
+		resp := getJSON(t, srv.URL+fmt.Sprintf("/api/refine/status?session=%d&round=%d", session, round), &status)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status: %d", resp.StatusCode)
+		}
+		if status.State == string(retrieval.RefineDone) || status.State == string(retrieval.RefineFailed) {
+			return status
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("round %d stuck in state %q", round, status.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAsyncRefineHTTPFlow is the round-token flow over the wire: submit
+// with ?async=1, get a 202 with a token, keep querying mid-train, poll the
+// status endpoint until the ranking lands, and read it back both by token
+// and as the session's latest completed round.
+func TestAsyncRefineHTTPFlow(t *testing.T) {
+	srv, labels, _ := testServerWithConfig(t, Config{})
+	session := startJudgedSession(t, srv, labels, 1)
+
+	// No completed round yet: the latest-round probe reports 404.
+	if resp := getJSON(t, srv.URL+fmt.Sprintf("/api/refine/status?session=%d", session), nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("latest before any round: %d", resp.StatusCode)
+	}
+
+	// Submit via the query parameter (the JSON "async": true field is
+	// exercised by the stress test below).
+	var accepted RefineAsyncResponse
+	resp := postJSON(t, srv.URL+"/api/refine?async=1", RefineRequest{SessionID: session, Scheme: "lrf-csvm", K: 8}, &accepted)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %d", resp.StatusCode)
+	}
+	if accepted.Round == 0 || accepted.State != string(retrieval.RefinePending) {
+		t.Fatalf("accepted = %+v", accepted)
+	}
+
+	// The query path keeps serving while the round trains.
+	var q QueryResponse
+	if resp := getJSON(t, srv.URL+"/api/query?image=2&k=5", &q); resp.StatusCode != http.StatusOK || len(q.Results) != 5 {
+		t.Errorf("query mid-train: %d, %d results", resp.StatusCode, len(q.Results))
+	}
+
+	status := pollRound(t, srv, session, accepted.Round)
+	if status.State != string(retrieval.RefineDone) {
+		t.Fatalf("round failed: %s", status.Error)
+	}
+	if len(status.Results) != 8 || status.Scheme != "lrf-csvm" {
+		t.Fatalf("status = %+v", status)
+	}
+
+	// The synchronous endpoint must agree with the completed round.
+	var sync RefineResponse
+	postJSON(t, srv.URL+"/api/refine", RefineRequest{SessionID: session, Scheme: "lrf-csvm", K: 8}, &sync)
+	for i := range sync.Results {
+		if sync.Results[i] != status.Results[i] {
+			t.Fatalf("rank %d: async %+v vs sync %+v", i, status.Results[i], sync.Results[i])
+		}
+	}
+
+	// Latest-round probe returns the same ranking without a token.
+	var latest RefineStatusResponse
+	if resp := getJSON(t, srv.URL+fmt.Sprintf("/api/refine/status?session=%d", session), &latest); resp.StatusCode != http.StatusOK {
+		t.Fatalf("latest: %d", resp.StatusCode)
+	}
+	if latest.Round != accepted.Round || len(latest.Results) != 8 {
+		t.Fatalf("latest = %+v", latest)
+	}
+}
+
+func TestAsyncRefineHTTPErrors(t *testing.T) {
+	srv, labels, _ := testServerWithConfig(t, Config{})
+	session := startJudgedSession(t, srv, labels, 2)
+
+	if resp := getJSON(t, srv.URL+"/api/refine/status?session=abc", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad session param: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/api/refine/status?session=99999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+fmt.Sprintf("/api/refine/status?session=%d&round=abc", session), nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad round param: %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+fmt.Sprintf("/api/refine/status?session=%d&round=42", session), nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown round: %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/api/refine?async=1", RefineRequest{SessionID: session, Scheme: "bogus", K: 5}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad scheme: %d", resp.StatusCode)
+	}
+	// A precondition failure is a client error (400), not backpressure
+	// (429): retrying cannot make a judgment-less SVM round succeed.
+	var fresh StartSessionResponse
+	postJSON(t, srv.URL+"/api/sessions", StartSessionRequest{Query: 3}, &fresh)
+	if resp := postJSON(t, srv.URL+"/api/refine?async=1", RefineRequest{SessionID: fresh.SessionID, Scheme: "lrf-csvm", K: 5}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("judgment-less async round: %d, want 400", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/api/refine/status", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing session: %d", resp.StatusCode)
+	}
+}
+
+// TestAsyncRefineHTTPStress drives the whole round-token flow concurrently
+// with ingestion and queries — the HTTP face of
+// retrieval.TestConcurrentAsyncRefine, meaningful under -race.
+func TestAsyncRefineHTTPStress(t *testing.T) {
+	srv, labels, engine := testServerWithConfig(t, Config{})
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+
+	// Ingestion through the HTTP API.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			body := map[string][][]float64{"images": {{9 + float64(i), 1}}}
+			var resp *http.Response
+			if resp = postJSON(t, srv.URL+"/api/images", body, nil); resp.StatusCode != http.StatusOK {
+				report(fmt.Errorf("ingest: %d", resp.StatusCode))
+				return
+			}
+		}
+	}()
+
+	// Query load.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			if resp := getJSON(t, srv.URL+"/api/query?image=1&k=5", nil); resp.StatusCode != http.StatusOK {
+				report(fmt.Errorf("query: %d", resp.StatusCode))
+				return
+			}
+		}
+	}()
+
+	// Feedback workers submitting async rounds via the JSON flag and
+	// polling them to completion.
+	schemes := []string{"rf-svm", "lrf-csvm", "euclidean"}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			session := startJudgedSession(t, srv, labels, worker)
+			for r := 0; r < 2; r++ {
+				var accepted RefineAsyncResponse
+				resp := postJSON(t, srv.URL+"/api/refine",
+					RefineRequest{SessionID: session, Scheme: schemes[(worker+r)%len(schemes)], K: 6, Async: true}, &accepted)
+				if resp.StatusCode != http.StatusAccepted {
+					report(fmt.Errorf("submit: %d", resp.StatusCode))
+					return
+				}
+				status := pollRound(t, srv, session, accepted.Round)
+				if status.State != string(retrieval.RefineDone) || len(status.Results) != 6 {
+					report(fmt.Errorf("round %d: state %s, %d results", accepted.Round, status.State, len(status.Results)))
+					return
+				}
+			}
+			if resp := postJSON(t, srv.URL+"/api/sessions/commit", CommitRequest{SessionID: session}, nil); resp.StatusCode != http.StatusOK {
+				report(fmt.Errorf("commit: %d", resp.StatusCode))
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for engine.PendingRefines() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending refines stuck at %d", engine.PendingRefines())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

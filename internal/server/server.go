@@ -12,7 +12,21 @@
 //	POST /api/sessions                    -> start a feedback session
 //	POST /api/sessions/judge              -> record judgments
 //	POST /api/sessions/refine             -> re-rank with a scheme
+//	POST /api/refine                      -> same; with ?async=1 (or
+//	                                         "async": true) the round trains
+//	                                         on the engine's bounded worker
+//	                                         pool and a round token returns
+//	                                         immediately (202 Accepted)
+//	GET  /api/refine/status               -> poll a round token, or with the
+//	                                         token omitted read the latest
+//	                                         completed round of the session
 //	POST /api/sessions/commit             -> append the round to the log
+//
+// Asynchronous refinement keeps feedback rounds off the request path: the
+// training job runs on the retrieval engine's bounded pool, queries keep
+// being answered from the previously published round meanwhile, and the
+// client polls /api/refine/status with the returned round token until the
+// new ranking lands.
 //
 // Every ranking endpoint returns a bounded result list: an omitted or
 // non-positive k selects the configured default (Config.DefaultK, 20 unless
@@ -31,6 +45,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -288,6 +303,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/sessions", s.guard(s.handleStartSession))
 	mux.HandleFunc("/api/sessions/judge", s.guard(s.handleJudge))
 	mux.HandleFunc("/api/sessions/refine", s.guard(s.handleRefine))
+	mux.HandleFunc("/api/refine", s.guard(s.handleRefine))
+	mux.HandleFunc("/api/refine/status", s.guard(s.handleRefineStatus))
 	mux.HandleFunc("/api/sessions/commit", s.guard(s.handleCommit))
 	return mux
 }
@@ -562,17 +579,31 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, JudgeResponse{Judgments: session.NumJudgments()})
 }
 
-// RefineRequest is the payload of POST /api/sessions/refine.
+// RefineRequest is the payload of POST /api/sessions/refine and
+// POST /api/refine. Async selects the asynchronous mode (equivalently,
+// request /api/refine?async=1): the round is submitted to the engine's
+// bounded training pool and a round token returns immediately.
 type RefineRequest struct {
 	SessionID int    `json:"session_id"`
 	Scheme    string `json:"scheme"`
 	K         int    `json:"k"`
+	Async     bool   `json:"async"`
 }
 
 // RefineResponse carries the re-ranked results.
 type RefineResponse struct {
 	Scheme  string       `json:"scheme"`
 	Results []ResultJSON `json:"results"`
+}
+
+// RefineAsyncResponse is the 202 Accepted payload of an asynchronous
+// refinement: poll GET /api/refine/status with the session and round.
+type RefineAsyncResponse struct {
+	SessionID int    `json:"session_id"`
+	Round     int    `json:"round"`
+	Scheme    string `json:"scheme"`
+	K         int    `json:"k"`
+	State     string `json:"state"`
 }
 
 func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
@@ -584,6 +615,14 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
+	}
+	if raw := r.URL.Query().Get("async"); raw != "" {
+		async, err := strconv.ParseBool(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid async parameter %q: want a boolean", raw)
+			return
+		}
+		req.Async = req.Async || async
 	}
 	session, ok := s.session(req.SessionID)
 	if !ok {
@@ -599,12 +638,90 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Async {
+		token, err := session.RefineAsync(kind, req.K)
+		if err != nil {
+			// Backpressure is retryable (429); everything else is a
+			// request error that retrying cannot fix.
+			status := http.StatusBadRequest
+			if errors.Is(err, retrieval.ErrTooManyRefines) {
+				status = http.StatusTooManyRequests
+			}
+			writeError(w, status, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, RefineAsyncResponse{
+			SessionID: req.SessionID,
+			Round:     token,
+			Scheme:    string(kind),
+			K:         req.K,
+			State:     string(retrieval.RefinePending),
+		})
+		return
+	}
 	results, err := session.Refine(kind, req.K)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RefineResponse{Scheme: string(kind), Results: toResultJSON(results)})
+}
+
+// RefineStatusResponse is the payload of GET /api/refine/status. Results is
+// present once State is "done"; Error once it is "failed".
+type RefineStatusResponse struct {
+	SessionID int          `json:"session_id"`
+	Round     int          `json:"round"`
+	Scheme    string       `json:"scheme"`
+	K         int          `json:"k"`
+	State     string       `json:"state"`
+	Results   []ResultJSON `json:"results,omitempty"`
+	Error     string       `json:"error,omitempty"`
+}
+
+func (s *Server) handleRefineStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	sessionID, err := strconv.Atoi(q.Get("session"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid session parameter: %v", err)
+		return
+	}
+	session, ok := s.session(sessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown or expired session %d", sessionID)
+		return
+	}
+	var round retrieval.RefineRound
+	if rs := q.Get("round"); rs != "" {
+		token, err := strconv.Atoi(rs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid round parameter: %v", err)
+			return
+		}
+		if round, ok = session.RefineStatus(token); !ok {
+			writeError(w, http.StatusNotFound, "session %d has no round %d", sessionID, token)
+			return
+		}
+	} else if round, ok = session.LatestRefined(); !ok {
+		writeError(w, http.StatusNotFound, "session %d has no successfully completed round yet", sessionID)
+		return
+	}
+	resp := RefineStatusResponse{
+		SessionID: sessionID,
+		Round:     round.Token,
+		Scheme:    string(round.Scheme),
+		K:         round.K,
+		State:     string(round.State),
+		Error:     round.Err,
+	}
+	if round.State == retrieval.RefineDone {
+		resp.Results = toResultJSON(round.Results)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // CommitRequest is the payload of POST /api/sessions/commit.

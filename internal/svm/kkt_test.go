@@ -1,0 +1,301 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"lrfcsvm/internal/kernel"
+	"lrfcsvm/internal/linalg"
+)
+
+// This file is the solver property suite: after every Train, the dual
+// iterate must satisfy the box constraints, the equality constraint and —
+// when the solver reports convergence — the KKT stopping criterion within
+// tolerance, all re-verified from scratch against the kernel rather than
+// the solver's own incrementally maintained state. The SMO objective must
+// also decrease monotonically along the iterate path. The suite runs over
+// table-driven randomized problems and as a fuzz target (FuzzTrainKKT) so
+// the optimizer can keep being rewritten — shrinking, fused selection,
+// warm starts — without silently breaking the mathematics.
+
+// kktProblem deterministically builds a randomized soft-margin problem from
+// a seed: two noisy, possibly overlapping clusters with occasional label
+// noise, per-sample costs spread around a lognormal base, and a kernel
+// picked by the seed.
+func kktProblem(seed uint64) (Problem, Config) {
+	rng := linalg.NewRNG(seed)
+	n := 8 + rng.Intn(48)
+	dim := 2 + rng.Intn(3)
+	sep := 0.5 + 2.5*rng.Float64()
+	noise := 0.15 * rng.Float64()
+	pts := make([]linalg.Vector, n)
+	labels := make([]float64, n)
+	costs := make([]float64, n)
+	baseC := math.Exp(rng.Normal(0, 1))
+	for i := range pts {
+		y, cx := 1.0, sep
+		if i%2 == 0 {
+			y, cx = -1, -sep
+		}
+		if rng.Float64() < noise {
+			y = -y
+		}
+		v := make(linalg.Vector, dim)
+		v[0] = cx + rng.Normal(0, 1)
+		for d := 1; d < dim; d++ {
+			v[d] = rng.Normal(0, 1)
+		}
+		pts[i] = v
+		labels[i] = y
+		costs[i] = baseC * (0.25 + 2*rng.Float64())
+	}
+	var k kernel.Kernel
+	switch rng.Intn(3) {
+	case 0:
+		k = kernel.Linear{}
+	case 1:
+		k = kernel.RBF{Gamma: 0.1 + 2*rng.Float64()}
+	default:
+		k = kernel.Polynomial{Degree: 2 + rng.Intn(2), Gamma: 0.5, Coef0: 1}
+	}
+	return Problem{Points: kernel.DensePoints(pts), Labels: labels, C: costs}, Config{Kernel: k}
+}
+
+// scratchGradient recomputes G_i = (Q alpha)_i - 1 from the kernel alone.
+func scratchGradient(p Problem, k kernel.Kernel, alphas []float64) []float64 {
+	n := len(p.Points)
+	grad := make([]float64, n)
+	for i := 0; i < n; i++ {
+		g := -1.0
+		for j, a := range alphas {
+			if a != 0 {
+				g += a * p.Labels[j] * p.Labels[i] * k.Eval(p.Points[j], p.Points[i])
+			}
+		}
+		grad[i] = g
+	}
+	return grad
+}
+
+// kktViolation computes the maximal-violating-pair gap max(up) - min(low)
+// from a freshly recomputed gradient. The second return is false when one
+// of the sets is empty (degenerate problems), in which case there is no
+// violating pair by definition.
+func kktViolation(p Problem, grad, alphas []float64) (float64, bool) {
+	maxUp, minLow := math.Inf(-1), math.Inf(1)
+	for t, y := range p.Labels {
+		a := alphas[t]
+		v := -y * grad[t]
+		if (y > 0 && a < p.C[t]) || (y < 0 && a > 0) {
+			if v > maxUp {
+				maxUp = v
+			}
+		}
+		if (y > 0 && a > 0) || (y < 0 && a < p.C[t]) {
+			if v < minLow {
+				minLow = v
+			}
+		}
+	}
+	if math.IsInf(maxUp, -1) || math.IsInf(minLow, 1) {
+		return 0, false
+	}
+	return maxUp - minLow, true
+}
+
+// checkKKT verifies the solver's contract on a trained model: every dual
+// variable inside its box, the equality constraint satisfied, and — when
+// the solver reports convergence — the KKT stopping criterion within
+// tolerance, with the gradient recomputed from scratch so the check is
+// independent of the solver's incremental bookkeeping.
+func checkKKT(t *testing.T, p Problem, cfg Config, m *Model) {
+	t.Helper()
+	tol := cfg.Tolerance
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	var sumAY, sumAbs float64
+	for i, a := range m.Alphas {
+		if math.IsNaN(a) || a < 0 || a > p.C[i] {
+			t.Errorf("alpha[%d] = %v outside [0, %v]", i, a, p.C[i])
+		}
+		sumAY += a * p.Labels[i]
+		sumAbs += a
+	}
+	if eps := 1e-9 * (1 + sumAbs); math.Abs(sumAY) > eps {
+		t.Errorf("sum alpha*y = %v, want 0 (eps %v)", sumAY, eps)
+	}
+	grad := scratchGradient(p, cfg.Kernel, m.Alphas)
+	scale := 1.0
+	for _, g := range grad {
+		if a := math.Abs(g); a > scale {
+			scale = a
+		}
+	}
+	violation, ok := kktViolation(p, grad, m.Alphas)
+	if m.Converged && ok && violation > tol+1e-9*scale {
+		t.Errorf("converged model violates KKT: gap %v > tolerance %v", violation, tol)
+	}
+	if math.IsNaN(m.Bias) || math.IsInf(m.Bias, 0) {
+		t.Errorf("bias = %v", m.Bias)
+	}
+}
+
+func TestTrainKKTProperties(t *testing.T) {
+	for seed := uint64(1); seed <= 14; seed++ {
+		for _, shrink := range []bool{false, true} {
+			p, cfg := kktProblem(seed)
+			cfg.Shrinking = shrink
+			m, err := Train(p, cfg)
+			if err != nil {
+				t.Fatalf("seed %d shrink %v: %v", seed, shrink, err)
+			}
+			if !m.Converged {
+				t.Errorf("seed %d shrink %v: did not converge in %d iterations", seed, shrink, m.Iterations)
+			}
+			checkKKT(t, p, cfg, m)
+		}
+	}
+}
+
+// dualObjective evaluates 1/2 alpha' Q alpha - e' alpha from scratch.
+func dualObjective(p Problem, k kernel.Kernel, alphas []float64) float64 {
+	var quad, lin float64
+	for i, ai := range alphas {
+		if ai == 0 {
+			continue
+		}
+		for j, aj := range alphas {
+			if aj == 0 {
+				continue
+			}
+			quad += ai * aj * p.Labels[i] * p.Labels[j] * k.Eval(p.Points[i], p.Points[j])
+		}
+	}
+	for _, a := range alphas {
+		lin += a
+	}
+	return 0.5*quad - lin
+}
+
+// TestTrainObjectiveMonotone re-runs the deterministic solver with growing
+// iteration budgets: the dual objective after k iterations must never
+// increase in k — each SMO pair update solves its two-variable subproblem
+// exactly, so the full iterate path is a descent path. Verified with and
+// without shrinking.
+func TestTrainObjectiveMonotone(t *testing.T) {
+	for _, seed := range []uint64{3, 11} {
+		for _, shrink := range []bool{false, true} {
+			p, cfg := kktProblem(seed)
+			cfg.Shrinking = shrink
+			full, err := Train(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stride := 1
+			if full.Iterations > 120 {
+				stride = full.Iterations/120 + 1
+			}
+			last := 0.0 // objective of the zero start
+			for k := 1; k <= full.Iterations; k += stride {
+				cfgK := cfg
+				cfgK.MaxIterations = k
+				m, err := Train(p, cfgK)
+				if err != nil {
+					t.Fatal(err)
+				}
+				obj := dualObjective(p, cfg.Kernel, m.Alphas)
+				if eps := 1e-9 * (1 + math.Abs(last)); obj > last+eps {
+					t.Fatalf("seed %d shrink %v: objective rose from %v to %v at iteration %d",
+						seed, shrink, last, obj, k)
+				}
+				last = obj
+			}
+		}
+	}
+}
+
+// TestWarmStartKKT pins the warm-start fast lane: growing the costs keeps
+// the previous solution feasible, and retraining from it — with and without
+// the carried exact gradient (WarmGrad/FinalGrad) — must land on a
+// KKT-satisfying solution whose decisions agree with a cold retrain within
+// solver tolerance.
+func TestWarmStartKKT(t *testing.T) {
+	for seed := uint64(2); seed <= 6; seed++ {
+		p, cfg := kktProblem(seed)
+		finalGrad := make([]float64, len(p.Points))
+		cfgWarm := cfg
+		cfgWarm.FinalGrad = finalGrad
+		first, err := Train(p, cfgWarm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown := p
+		grown.C = make([]float64, len(p.C))
+		for i, c := range p.C {
+			grown.C[i] = 1.5 * c
+		}
+		cold, err := Train(grown, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, carryGrad := range []bool{false, true} {
+			cfgW := cfg
+			cfgW.WarmAlpha = first.Alphas
+			if carryGrad {
+				cfgW.WarmGrad = finalGrad
+			}
+			warm, err := Train(grown, cfgW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !warm.Converged {
+				t.Errorf("seed %d carry %v: warm retrain did not converge", seed, carryGrad)
+			}
+			checkKKT(t, grown, cfgW, warm)
+			// A warm start is not guaranteed to beat the cold retrain on
+			// every problem, but it must never blow up relative to it.
+			if warm.Iterations > 2*cold.Iterations+50 {
+				t.Errorf("seed %d carry %v: warm retrain took %d iterations, cold retrain took %d",
+					seed, carryGrad, warm.Iterations, cold.Iterations)
+			}
+			maxDiff := 0.0
+			for _, pt := range grown.Points {
+				if d := math.Abs(warm.Decision(pt) - cold.Decision(pt)); d > maxDiff {
+					maxDiff = d
+				}
+			}
+			if maxDiff > 0.05 {
+				t.Errorf("seed %d carry %v: warm and cold decisions differ by %v", seed, carryGrad, maxDiff)
+			}
+		}
+	}
+}
+
+// FuzzTrainKKT fuzzes the solver invariants over the randomized problem
+// space: any (seed, shrinking, cost-scale) combination must produce a model
+// inside the dual feasible region, and a converged one must satisfy the KKT
+// criterion — the same checks the table-driven suite applies, under
+// arbitrary adversarial parameters.
+func FuzzTrainKKT(f *testing.F) {
+	f.Add(uint64(1), false, 1.0)
+	f.Add(uint64(7), true, 0.1)
+	f.Add(uint64(42), true, 25.0)
+	f.Add(uint64(99), false, 1000.0)
+	f.Add(uint64(123456789), true, 3.5)
+	f.Fuzz(func(t *testing.T, seed uint64, shrink bool, cScale float64) {
+		if math.IsNaN(cScale) || cScale < 1e-6 || cScale > 1e6 {
+			t.Skip()
+		}
+		p, cfg := kktProblem(seed)
+		for i := range p.C {
+			p.C[i] *= cScale
+		}
+		cfg.Shrinking = shrink
+		m, err := Train(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkKKT(t, p, cfg, m)
+	})
+}

@@ -98,6 +98,44 @@ type Config struct {
 	// the solver cold-starts; labels or shrunken costs that changed since
 	// the previous run usually break feasibility, growing costs never do.
 	WarmAlpha []float64
+	// WarmGrad, when non-nil and the warm start is accepted, is taken as
+	// the exact gradient G_i = (Q*WarmAlpha)_i - 1 of the warm point and
+	// skips the O(nnz*n) gradient reconstruction. It must have been
+	// computed for the same points, labels and kernel as this problem
+	// (costs may differ: the gradient does not depend on them) —
+	// typically the FinalGrad of the training run that produced WarmAlpha.
+	// The solver cannot verify this cheaply, so a stale gradient silently
+	// corrupts the solution; callers must drop it whenever a label
+	// changed. Ignored when WarmAlpha is rejected.
+	WarmGrad []float64
+	// FinalGrad, when of problem length, receives the solver's final
+	// gradient after training (for a degenerate one-class problem, the
+	// zero-alpha gradient -e). Feeding it back as WarmGrad alongside
+	// Model.Alphas lets repeated retrainings on fixed labels skip gradient
+	// reconstruction entirely — the coupled SVM's rho schedule does this.
+	FinalGrad []float64
+	// OmitSupportVectors leaves SupportPoints/Coefficients of the returned
+	// model empty; Alphas, Bias and the solver diagnostics are still
+	// populated. The Decision* methods are unusable until
+	// Model.ExpandSupport is called. Intermediate retrainings of the
+	// coupled SVM's annealing loop use this: their models are discarded
+	// after the label-correction step reads the alphas, so materializing
+	// their support-vector lists is pure waste.
+	OmitSupportVectors bool
+	// Shrinking enables the LIBSVM-style shrinking heuristic: every
+	// ShrinkInterval iterations, bound-pinned variables (alpha at 0 or C_i)
+	// whose violation lies strictly beyond the current extremes are
+	// deactivated, and pair selection plus the gradient update run over the
+	// active set only. Before convergence is declared the full gradient is
+	// reconstructed and every variable re-verified against the KKT
+	// stopping criterion, so the solution satisfies the same tolerance as
+	// the unshrunk solver; the iterate path may differ, landing on a
+	// different solution within that tolerance. Off by default so default
+	// results stay bit-identical to the unshrunk solver.
+	Shrinking bool
+	// ShrinkInterval is the number of SMO iterations between shrink passes.
+	// Zero selects min(n, 1000), the LIBSVM rule.
+	ShrinkInterval int
 }
 
 func (c Config) withDefaults(n int) Config {
@@ -106,6 +144,12 @@ func (c Config) withDefaults(n int) Config {
 	}
 	if c.MaxIterations <= 0 {
 		c.MaxIterations = 100*n + 10000
+	}
+	if c.ShrinkInterval <= 0 {
+		c.ShrinkInterval = n
+		if c.ShrinkInterval > 1000 {
+			c.ShrinkInterval = 1000
+		}
 	}
 	return c
 }
@@ -123,8 +167,13 @@ type Model struct {
 	Alphas []float64
 	// Iterations is the number of SMO pair updates performed.
 	Iterations int
+	// Shrinks is the number of shrink passes the solver performed (always
+	// zero unless Config.Shrinking is enabled).
+	Shrinks int
 	// Converged reports whether the KKT stopping criterion was met before
-	// the iteration budget ran out.
+	// the iteration budget ran out. With shrinking it is only declared
+	// after reactivating every shrunk variable and re-verifying the
+	// criterion over the full set.
 	Converged bool
 
 	// svOnce lazily builds svSet, the support vectors in flat row-major
@@ -169,6 +218,11 @@ func Train(p Problem, cfg Config) (*Model, error) {
 	// prior as the bias so that Predict still answers with the only
 	// observed label.
 	if oneClass, label := singleClass(p.Labels); oneClass {
+		if len(cfg.FinalGrad) == n {
+			for i := range cfg.FinalGrad {
+				cfg.FinalGrad[i] = -1 // alpha = 0 => G = -e
+			}
+		}
 		return &Model{
 			Kernel:    cfg.Kernel,
 			Bias:      label,
@@ -185,15 +239,46 @@ func Train(p Problem, cfg Config) (*Model, error) {
 		Bias:       s.bias(),
 		Alphas:     append([]float64(nil), s.alpha...),
 		Iterations: s.iterations,
+		Shrinks:    s.shrinks,
 		Converged:  s.converged,
 	}
-	for i := 0; i < n; i++ {
-		if s.alpha[i] > 0 {
-			model.SupportPoints = append(model.SupportPoints, p.Points[i])
-			model.Coefficients = append(model.Coefficients, s.alpha[i]*p.Labels[i])
+	if !cfg.OmitSupportVectors {
+		model.ExpandSupport(p.Points, p.Labels)
+	}
+	if len(cfg.FinalGrad) == n {
+		copy(cfg.FinalGrad, s.grad)
+	}
+	s.release()
+	return model, nil
+}
+
+// ExpandSupport populates SupportPoints and Coefficients from the model's
+// alphas, given the training problem's points and the labels the model was
+// trained with. It is what Train runs eagerly unless
+// Config.OmitSupportVectors deferred it, and produces a bit-identical model
+// (coef_i = alpha_i * y_i in training order). No-op when the support list
+// is already populated or the model has no support vectors.
+func (m *Model) ExpandSupport(points []kernel.Point, labels []float64) {
+	if len(m.SupportPoints) > 0 {
+		return
+	}
+	nsv := 0
+	for _, a := range m.Alphas {
+		if a > 0 {
+			nsv++
 		}
 	}
-	return model, nil
+	if nsv == 0 {
+		return
+	}
+	m.SupportPoints = make([]kernel.Point, 0, nsv)
+	m.Coefficients = make([]float64, 0, nsv)
+	for i, a := range m.Alphas {
+		if a > 0 {
+			m.SupportPoints = append(m.SupportPoints, points[i])
+			m.Coefficients = append(m.Coefficients, a*labels[i])
+		}
+	}
 }
 
 func singleClass(labels []float64) (bool, float64) {
@@ -301,16 +386,53 @@ func (m *Model) Slack(x kernel.Point, y float64) float64 {
 // NumSupportVectors returns the number of support vectors in the model.
 func (m *Model) NumSupportVectors() int { return len(m.SupportPoints) }
 
+// solverScratch is the reusable per-training working memory of the solver:
+// the dual iterate, the gradient, and the active-set index buffers. Repeated
+// retrainings — the coupled SVM's annealing loop retrains each modality
+// dozens of times per feedback round — recycle these arrays through a
+// sync.Pool instead of reallocating them.
+type solverScratch struct {
+	alpha  []float64
+	grad   []float64
+	active []int
+	idx    []int // inactive-index buffer for gradient reconstruction
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(solverScratch) }}
+
+// grab resizes the scratch for an n-point problem, reusing capacity.
+func (sc *solverScratch) grab(n int) {
+	if cap(sc.alpha) < n {
+		sc.alpha = make([]float64, n)
+		sc.grad = make([]float64, n)
+		sc.active = make([]int, n)
+		sc.idx = make([]int, 0, n)
+	}
+	sc.alpha = sc.alpha[:n]
+	sc.grad = sc.grad[:n]
+	sc.active = sc.active[:n]
+	sc.idx = sc.idx[:0]
+}
+
 // solver carries the SMO state.
 type solver struct {
-	p     Problem
-	cfg   Config
-	cache *kernel.Cache
+	p       Problem
+	cfg     Config
+	cache   *kernel.Cache
+	scratch *solverScratch
 
 	alpha []float64
 	grad  []float64 // G_i = (Q alpha)_i - 1
 
+	// active holds the indices the working-set selection and gradient
+	// update consider, in ascending order; shrunk is true when that is a
+	// strict subset of the problem (gradients of inactive variables are
+	// stale until reconstructGradient).
+	active []int
+	shrunk bool
+
 	iterations int
+	shrinks    int
 	converged  bool
 }
 
@@ -320,62 +442,113 @@ func newSolver(p Problem, cfg Config) *solver {
 	if cache == nil || cache.NumPoints() != n {
 		cache = kernel.NewCache(cfg.Kernel, p.Points, cfg.CacheRows)
 	}
+	sc := scratchPool.Get().(*solverScratch)
+	sc.grab(n)
 	s := &solver{
-		p:     p,
-		cfg:   cfg,
-		cache: cache,
-		alpha: make([]float64, n),
-		grad:  make([]float64, n),
+		p:       p,
+		cfg:     cfg,
+		cache:   cache,
+		scratch: sc,
+		alpha:   sc.alpha,
+		grad:    sc.grad,
+		active:  sc.active,
 	}
-	for i := range s.grad {
-		s.grad[i] = -1 // alpha = 0 => G = -e
+	for i := range s.active {
+		s.active[i] = i
 	}
-	s.warmStart()
+	warm := cfg.WarmAlpha
+	if !s.feasible(warm) {
+		warm = nil
+	}
+	s.initState(warm, cfg.WarmGrad)
 	return s
 }
 
-// warmStart seeds alpha with cfg.WarmAlpha when it is feasible for this
-// problem and rebuilds the gradient G = Q*alpha - e from the cached kernel
-// rows of the non-zero alphas. Infeasible warm points (wrong length, outside
-// the box, violating the equality constraint) are silently ignored — the
-// solver simply cold-starts, which is always correct.
-func (s *solver) warmStart() {
-	warm := s.cfg.WarmAlpha
+// release returns the solver's working memory to the pool. The caller must
+// have copied out everything it needs (Train copies the alphas into the
+// model first).
+func (s *solver) release() {
+	sc := s.scratch
+	s.scratch, s.alpha, s.grad, s.active = nil, nil, nil, nil
+	scratchPool.Put(sc)
+}
+
+// feasible reports whether warm is a feasible dual point for this problem:
+// matching length, inside the box [0, C_i], and on the equality constraint
+// sum_i y_i*alpha_i = 0. Infeasible warm points (labels or shrunken costs
+// changed since the previous run) are rejected so the solver cold-starts,
+// which is always correct.
+func (s *solver) feasible(warm []float64) bool {
 	if len(warm) != len(s.p.Points) {
-		return
+		return false
 	}
 	var linear float64
 	for i, a := range warm {
 		if a < 0 || a > s.p.C[i] || math.IsNaN(a) {
-			return
+			return false
 		}
 		linear += s.p.Labels[i] * a
 	}
-	if math.Abs(linear) > 1e-9 {
-		return
+	return math.Abs(linear) <= 1e-9
+}
+
+// initState is the single entry point for both the cold and the warm start:
+// it installs the starting iterate (zero, or the feasible warm point) and
+// derives the gradient from it through the same reconstruction used when
+// reactivating shrunk variables, so the two start paths cannot diverge. A
+// caller-supplied WarmGrad (the trusted final gradient of the run that
+// produced the warm point) replaces the reconstruction for an accepted
+// warm start.
+func (s *solver) initState(warm, warmGrad []float64) {
+	if warm == nil {
+		for i := range s.alpha {
+			s.alpha[i] = 0
+		}
+	} else {
+		copy(s.alpha, warm)
+		if len(warmGrad) == len(s.grad) {
+			copy(s.grad, warmGrad)
+			return
+		}
 	}
-	copy(s.alpha, warm)
+	s.reconstructGradient(s.active)
+}
+
+// reconstructGradient recomputes G_t = (Q alpha)_t - 1 exactly for every
+// index in targets from the cached kernel rows of the non-zero alphas. It
+// serves the cold start (all alphas zero: G = -e), the warm start, and the
+// reactivation of shrunk variables whose gradients went stale.
+func (s *solver) reconstructGradient(targets []int) {
+	for _, t := range targets {
+		s.grad[t] = -1 // alpha = 0 => G = -e
+	}
 	for i, a := range s.alpha {
 		if a == 0 {
 			continue
 		}
 		row := s.cache.Row(i)
 		ayi := a * s.p.Labels[i]
-		for t := range s.grad {
+		for _, t := range targets {
 			s.grad[t] += ayi * s.p.Labels[t] * row[t]
 		}
 	}
 }
 
-// selectPair returns the maximal violating pair and the current violation.
-// The up-set/low-set membership tests ((y>0 && a<C)||(y<0 && a>0) and its
-// mirror) are inlined so the scan reads each slot exactly once.
+// selectPair returns the maximal violating pair over the active set and the
+// current violation. The up-set/low-set membership tests
+// ((y>0 && a<C)||(y<0 && a>0) and its mirror) are inlined so the scan reads
+// each slot exactly once. The steady-state iterations get their pair from
+// the fused scan inside step instead; this standalone scan serves the first
+// iteration and every point where the gradient was rebuilt wholesale (warm
+// start, reactivation of shrunk variables). Both scans visit the same
+// indices in the same order over the same gradient values, so they select
+// bit-identical pairs.
 func (s *solver) selectPair() (i, j int, violation float64) {
 	maxUp := math.Inf(-1)
 	minLow := math.Inf(1)
 	i, j = -1, -1
 	labels, grad, alpha, costs := s.p.Labels, s.grad, s.alpha, s.p.C
-	for t := range labels {
+	scan := func(t int) {
 		y := labels[t]
 		v := -y * grad[t]
 		a := alpha[t]
@@ -399,115 +572,295 @@ func (s *solver) selectPair() (i, j int, violation float64) {
 			}
 		}
 	}
+	if s.shrunk {
+		for _, t := range s.active {
+			scan(t)
+		}
+	} else {
+		for t := range labels {
+			scan(t)
+		}
+	}
 	if i < 0 || j < 0 {
 		return -1, -1, 0
 	}
 	return i, j, maxUp - minLow
 }
 
-func (s *solver) solve() {
-	const tau = 1e-12
-	for s.iterations = 0; s.iterations < s.cfg.MaxIterations; s.iterations++ {
-		i, j, violation := s.selectPair()
-		if i < 0 || violation <= s.cfg.Tolerance {
-			s.converged = true
-			return
-		}
-		yi, yj := s.p.Labels[i], s.p.Labels[j]
-		ci, cj := s.p.C[i], s.p.C[j]
-		// Both rows are needed for the gradient update below anyway, so
-		// fetch them first and read the three pair entries from them
-		// instead of issuing separate single-pair probes.
-		rowI := s.cache.Row(i)
-		rowJ := s.cache.Row(j)
-		kii := rowI[i]
-		kjj := rowJ[j]
-		kij := rowI[j]
-		oldAi, oldAj := s.alpha[i], s.alpha[j]
-
-		if yi != yj {
-			// In terms of the signed matrix Q this is Q_ii+Q_jj+2Q_ij; with
-			// opposite labels Q_ij = -K_ij.
-			quad := kii + kjj - 2*kij
-			if quad <= 0 {
-				quad = tau
-			}
-			delta := (-s.grad[i] - s.grad[j]) / quad
-			diff := oldAi - oldAj
-			s.alpha[i] += delta
-			s.alpha[j] += delta
-			if diff > 0 {
-				if s.alpha[j] < 0 {
-					s.alpha[j] = 0
-					s.alpha[i] = diff
-				}
-			} else {
-				if s.alpha[i] < 0 {
-					s.alpha[i] = 0
-					s.alpha[j] = -diff
-				}
-			}
-			if diff > ci-cj {
-				if s.alpha[i] > ci {
-					s.alpha[i] = ci
-					s.alpha[j] = ci - diff
-				}
-			} else {
-				if s.alpha[j] > cj {
-					s.alpha[j] = cj
-					s.alpha[i] = cj + diff
-				}
-			}
-		} else {
-			quad := kii + kjj - 2*kij
-			if quad <= 0 {
-				quad = tau
-			}
-			delta := (s.grad[i] - s.grad[j]) / quad
-			sum := oldAi + oldAj
-			s.alpha[i] -= delta
-			s.alpha[j] += delta
-			if sum > ci {
-				if s.alpha[i] > ci {
-					s.alpha[i] = ci
-					s.alpha[j] = sum - ci
-				}
-			} else {
-				if s.alpha[j] < 0 {
-					s.alpha[j] = 0
-					s.alpha[i] = sum
-				}
-			}
-			if sum > cj {
-				if s.alpha[j] > cj {
-					s.alpha[j] = cj
-					s.alpha[i] = sum - cj
-				}
-			} else {
-				if s.alpha[i] < 0 {
-					s.alpha[i] = 0
-					s.alpha[j] = sum
-				}
+// shrink deactivates every bound-pinned variable whose violation lies
+// strictly beyond the current extremes: a variable only in the up set with
+// v below the low set's minimum (or only in the low set with v above the up
+// set's maximum) cannot belong to any violating pair right now, so the
+// working-set scans and gradient updates stop paying for it. Free variables
+// (0 < alpha < C) are never shrunk. Deactivated variables keep their alpha;
+// their gradient goes stale and is reconstructed before convergence is
+// declared (see solve).
+func (s *solver) shrink() {
+	maxUp := math.Inf(-1)
+	minLow := math.Inf(1)
+	labels, grad, alpha, costs := s.p.Labels, s.grad, s.alpha, s.p.C
+	for _, t := range s.active {
+		y := labels[t]
+		v := -y * grad[t]
+		a := alpha[t]
+		if (y > 0 && a < costs[t]) || (y < 0 && a > 0) {
+			if v > maxUp {
+				maxUp = v
 			}
 		}
-
-		dAi := s.alpha[i] - oldAi
-		dAj := s.alpha[j] - oldAj
-		if dAi == 0 && dAj == 0 {
-			// Numerically stuck pair; treat as converged to avoid spinning.
-			s.converged = true
-			return
-		}
-		// y_i*dA_i and y_j*dA_j are hoisted: labels are exactly +-1, so
-		// the refactored products are bit-identical to the per-term form.
-		ydAi := yi * dAi
-		ydAj := yj * dAj
-		grad := s.grad
-		labels := s.p.Labels
-		for t := range grad {
-			grad[t] += labels[t] * (ydAi*rowI[t] + ydAj*rowJ[t])
+		if (y > 0 && a > 0) || (y < 0 && a < costs[t]) {
+			if v < minLow {
+				minLow = v
+			}
 		}
 	}
+	kept := s.active[:0]
+	for _, t := range s.active {
+		a := alpha[t]
+		y := labels[t]
+		if a > 0 && a < costs[t] {
+			kept = append(kept, t) // free: always active
+			continue
+		}
+		v := -y * grad[t]
+		upOnly := (y > 0 && a == 0) || (y < 0 && a == costs[t])
+		if upOnly {
+			if v < minLow {
+				continue // cannot pair-violate as the up element
+			}
+		} else if v > maxUp {
+			continue // cannot pair-violate as the low element
+		}
+		kept = append(kept, t)
+	}
+	if len(kept) < len(s.active) {
+		s.shrunk = true
+		s.shrinks++
+	}
+	s.active = kept
+}
+
+// unshrink reactivates every variable: gradients of the inactive ones are
+// reconstructed exactly, and the active set is reset to the full problem.
+func (s *solver) unshrink() {
+	inactive := s.scratch.idx[:0]
+	next := 0
+	for t := range s.p.Points {
+		if next < len(s.active) && s.active[next] == t {
+			next++
+			continue
+		}
+		inactive = append(inactive, t)
+	}
+	s.scratch.idx = inactive
+	s.reconstructGradient(inactive)
+	s.active = s.scratch.active[:len(s.p.Points)]
+	for i := range s.active {
+		s.active[i] = i
+	}
+	s.shrunk = false
+}
+
+func (s *solver) solve() {
+	counter := s.cfg.ShrinkInterval
+	i, j, violation := s.selectPair()
+	for s.iterations = 0; s.iterations < s.cfg.MaxIterations; s.iterations++ {
+		if s.cfg.Shrinking {
+			if counter--; counter == 0 {
+				counter = s.cfg.ShrinkInterval
+				// Shrinking between selection and update is safe: shrink
+				// only deactivates variables that cannot be either element
+				// of the maximal violating pair, so the carried selection
+				// is exactly what a post-shrink rescan would return.
+				s.shrink()
+			}
+		}
+		if i < 0 || violation <= s.cfg.Tolerance {
+			if !s.shrunk {
+				s.converged = true
+				return
+			}
+			// Converged on the active set only: reactivate everything,
+			// re-verify the KKT criterion over the full problem, and keep
+			// optimizing if any reactivated variable still violates it.
+			s.unshrink()
+			i, j, violation = s.selectPair()
+			if i < 0 || violation <= s.cfg.Tolerance {
+				s.converged = true
+				return
+			}
+			counter = s.cfg.ShrinkInterval
+		}
+		var ok bool
+		i, j, violation, ok = s.step(i, j)
+		if !ok {
+			return
+		}
+	}
+	if s.shrunk {
+		// Iteration budget exhausted while shrunk: reconstruct the full
+		// gradient so the bias (and any KKT inspection) sees exact values.
+		s.unshrink()
+	}
+}
+
+// step performs one SMO pair update on (i, j) and the corresponding
+// gradient update over the active set. The next maximal violating pair is
+// selected inside the same gradient-update loop — each index is scanned
+// with its freshly written gradient value, in the same order a standalone
+// selectPair would visit it, so the fused selection is bit-identical while
+// saving one full pass per iteration. It returns ok == false when the pair
+// is numerically stuck and the solver should stop.
+func (s *solver) step(i, j int) (ni, nj int, violation float64, ok bool) {
+	const tau = 1e-12
+	yi, yj := s.p.Labels[i], s.p.Labels[j]
+	ci, cj := s.p.C[i], s.p.C[j]
+	// Both rows are needed for the gradient update below anyway, so
+	// fetch them first and read the three pair entries from them
+	// instead of issuing separate single-pair probes.
+	rowI := s.cache.Row(i)
+	rowJ := s.cache.Row(j)
+	kii := rowI[i]
+	kjj := rowJ[j]
+	kij := rowI[j]
+	oldAi, oldAj := s.alpha[i], s.alpha[j]
+
+	if yi != yj {
+		// In terms of the signed matrix Q this is Q_ii+Q_jj+2Q_ij; with
+		// opposite labels Q_ij = -K_ij.
+		quad := kii + kjj - 2*kij
+		if quad <= 0 {
+			quad = tau
+		}
+		delta := (-s.grad[i] - s.grad[j]) / quad
+		diff := oldAi - oldAj
+		s.alpha[i] += delta
+		s.alpha[j] += delta
+		if diff > 0 {
+			if s.alpha[j] < 0 {
+				s.alpha[j] = 0
+				s.alpha[i] = diff
+			}
+		} else {
+			if s.alpha[i] < 0 {
+				s.alpha[i] = 0
+				s.alpha[j] = -diff
+			}
+		}
+		if diff > ci-cj {
+			if s.alpha[i] > ci {
+				s.alpha[i] = ci
+				s.alpha[j] = ci - diff
+			}
+		} else {
+			if s.alpha[j] > cj {
+				s.alpha[j] = cj
+				s.alpha[i] = cj + diff
+			}
+		}
+	} else {
+		quad := kii + kjj - 2*kij
+		if quad <= 0 {
+			quad = tau
+		}
+		delta := (s.grad[i] - s.grad[j]) / quad
+		sum := oldAi + oldAj
+		s.alpha[i] -= delta
+		s.alpha[j] += delta
+		if sum > ci {
+			if s.alpha[i] > ci {
+				s.alpha[i] = ci
+				s.alpha[j] = sum - ci
+			}
+		} else {
+			if s.alpha[j] < 0 {
+				s.alpha[j] = 0
+				s.alpha[i] = sum
+			}
+		}
+		if sum > cj {
+			if s.alpha[j] > cj {
+				s.alpha[j] = cj
+				s.alpha[i] = sum - cj
+			}
+		} else {
+			if s.alpha[i] < 0 {
+				s.alpha[i] = 0
+				s.alpha[j] = sum
+			}
+		}
+	}
+
+	dAi := s.alpha[i] - oldAi
+	dAj := s.alpha[j] - oldAj
+	if dAi == 0 && dAj == 0 {
+		// Numerically stuck pair. If the active set was shrunk, the pair
+		// was only maximal over it: reactivate everything (reconstructing
+		// the stale gradients) and rescan the full problem — a reactivated
+		// variable may form a workable pair, in which case optimization
+		// continues. Only when the full-set scan converges, or hands back
+		// the same stuck pair, does the solver stop, so Converged keeps
+		// its full-set meaning.
+		if s.shrunk {
+			s.unshrink()
+			ni, nj, violation = s.selectPair()
+			if ni >= 0 && violation > s.cfg.Tolerance && !(ni == i && nj == j) {
+				return ni, nj, violation, true
+			}
+		}
+		// Treat as converged to avoid spinning on the stuck pair.
+		s.converged = true
+		return 0, 0, 0, false
+	}
+	// y_i*dA_i and y_j*dA_j are hoisted: labels are exactly +-1, so
+	// the refactored products are bit-identical to the per-term form.
+	ydAi := yi * dAi
+	ydAj := yj * dAj
+	grad := s.grad
+	labels := s.p.Labels
+	alpha, costs := s.alpha, s.p.C
+	maxUp := math.Inf(-1)
+	minLow := math.Inf(1)
+	ni, nj = -1, -1
+	update := func(t int) {
+		g := grad[t] + labels[t]*(ydAi*rowI[t]+ydAj*rowJ[t])
+		grad[t] = g
+		y := labels[t]
+		v := -y * g
+		a := alpha[t]
+		if y > 0 {
+			if a < costs[t] && v > maxUp {
+				maxUp = v
+				ni = t
+			}
+			if a > 0 && v < minLow {
+				minLow = v
+				nj = t
+			}
+		} else {
+			if a > 0 && v > maxUp {
+				maxUp = v
+				ni = t
+			}
+			if a < costs[t] && v < minLow {
+				minLow = v
+				nj = t
+			}
+		}
+	}
+	if s.shrunk {
+		for _, t := range s.active {
+			update(t)
+		}
+	} else {
+		for t := range grad {
+			update(t)
+		}
+	}
+	if ni < 0 || nj < 0 {
+		return -1, -1, 0, true
+	}
+	return ni, nj, maxUp - minLow, true
 }
 
 // bias computes the intercept b of the decision function from the KKT
