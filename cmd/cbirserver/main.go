@@ -6,14 +6,22 @@
 // The collection can come from a feature/log store pair or from an engine
 // snapshot. With -snapshot the server loads the snapshot when it exists
 // (falling back to -features/-log for the initial import) and persists the
-// grown collection and log back to it on graceful shutdown (SIGINT/SIGTERM),
-// closing the persistence loop of the live collection.
+// grown collection and log back to it on graceful shutdown (SIGINT/SIGTERM).
+//
+// With -journal the server is durable against crashes, not just graceful
+// shutdowns: every committed feedback session and every ingested image
+// batch is appended to a write-ahead journal (fsync policy selectable with
+// -fsync) before it takes effect, startup replays snapshot + journal tail
+// to reconstruct the exact pre-crash state, and a background snapshotter
+// folds the journal into the snapshot every -snapshot-interval (or sooner
+// when it reaches -journal-max-bytes), bounding replay time.
 //
 // Example:
 //
 //	featextract -out features.bin
 //	loggen -features features.bin -out log.bin
-//	cbirserver -features features.bin -log log.bin -snapshot engine.snap -addr :8080
+//	cbirserver -features features.bin -log log.bin \
+//	    -snapshot engine.snap -journal engine.wal -addr :8080
 package main
 
 import (
@@ -39,7 +47,11 @@ func main() {
 	var (
 		featuresPath = flag.String("features", "features.bin", "feature store written by featextract")
 		logPath      = flag.String("log", "", "optional log store written by loggen")
-		snapshotPath = flag.String("snapshot", "", "optional engine snapshot: loaded when present, written on graceful shutdown")
+		snapshotPath = flag.String("snapshot", "", "optional engine snapshot: loaded when present, written by the snapshotter and on graceful shutdown")
+		journalPath  = flag.String("journal", "", "optional write-ahead feedback journal: commits and ingestions are durable against crashes, startup replays the tail")
+		fsyncPolicy  = flag.String("fsync", "interval", "journal flush policy: always (no loss window), interval (bounded window, default) or off")
+		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "how often the snapshotter folds the journal into the snapshot (needs -snapshot and -journal)")
+		journalMax   = flag.Int64("journal-max-bytes", storage.DefaultMaxJournalBytes, "journal size that forces a snapshot before the interval elapses")
 		addr         = flag.String("addr", ":8080", "listen address")
 		sessionTTL   = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle feedback sessions are evicted after this long")
 		maxSessions  = flag.Int("max-sessions", server.DefaultMaxSessions, "cap on live feedback sessions (LRU eviction beyond it)")
@@ -50,22 +62,75 @@ func main() {
 	)
 	flag.Parse()
 
-	visual, fblog, err := loadCollection(*snapshotPath, *featuresPath, *logPath)
+	visual, fblog, coveredSeq, err := loadCollection(*snapshotPath, *featuresPath, *logPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbirserver:", err)
 		os.Exit(1)
 	}
-	engine, err := retrieval.NewEngine(visual, fblog, retrieval.Options{ShardSize: *shardSize, TrainWorkers: *trainWorkers})
+
+	// Journal replay: recover everything committed or ingested since the
+	// state loaded above was persisted. The snapshot records the journal
+	// sequence it covers, so replay never double-applies a record even if
+	// the previous process died between snapshot install and compaction.
+	var journal *storage.Journal
+	var replay storage.ReplayStats
+	if *journalPath != "" {
+		fsync, err := storage.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cbirserver:", err)
+			os.Exit(1)
+		}
+		if fblog == nil {
+			fblog = feedbacklog.NewLog(len(visual))
+		}
+		journal, visual, replay, err = storage.OpenJournal(*journalPath, visual, fblog, storage.JournalOptions{Fsync: fsync, SnapshotSeq: coveredSeq})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cbirserver: journal:", err)
+			os.Exit(1)
+		}
+		if replay.Records > 0 || replay.Skipped > 0 || replay.TornTailBytes > 0 {
+			log.Printf("cbirserver: journal %s replayed %d records (%d sessions, %d images), %d already covered by the snapshot, %d torn bytes truncated",
+				*journalPath, replay.Records, replay.Sessions, replay.Images, replay.Skipped, replay.TornTailBytes)
+		}
+	}
+
+	opts := retrieval.Options{ShardSize: *shardSize, TrainWorkers: *trainWorkers}
+	if journal != nil {
+		opts.Journal = journal
+	}
+	engine, err := retrieval.NewEngine(visual, fblog, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cbirserver:", err)
 		os.Exit(1)
 	}
-	srv := server.NewWithConfig(engine, server.Config{
+
+	// Snapshot compaction keeps journal replay bounded; it needs both a
+	// snapshot to write and a journal to truncate.
+	var snapshotter *storage.Snapshotter
+	if journal != nil && *snapshotPath != "" {
+		snapshotter, err = storage.NewSnapshotter(journal, engine.SnapshotWith, storage.SnapshotterConfig{
+			SnapshotPath:    *snapshotPath,
+			Interval:        *snapInterval,
+			MaxJournalBytes: *journalMax,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cbirserver:", err)
+			os.Exit(1)
+		}
+	} else if journal != nil {
+		log.Printf("cbirserver: -journal without -snapshot: the journal is never compacted and replay time grows with it")
+	}
+
+	cfg := server.Config{
 		SessionTTL:  *sessionTTL,
 		MaxSessions: *maxSessions,
 		DefaultK:    *defaultK,
 		MaxK:        *maxK,
-	})
+	}
+	if journal != nil {
+		cfg.Durability = durabilityStatus(journal, snapshotter, replay)
+	}
+	srv := server.NewWithConfig(engine, cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	stop := make(chan os.Signal, 1)
@@ -83,13 +148,29 @@ func main() {
 			log.Printf("cbirserver: shutdown: %v", err)
 		}
 		srv.Close()
-		if *snapshotPath != "" {
+		switch {
+		case snapshotter != nil:
+			// Final pass: snapshot the end state and compact the journal to
+			// empty, so the next start replays nothing.
+			snapshotter.Close()
+			if err := snapshotter.SnapshotNow(); err != nil {
+				log.Printf("cbirserver: final snapshot: %v", err)
+			} else {
+				log.Printf("cbirserver: snapshot of %d images (%d log sessions) written to %s",
+					engine.NumImages(), engine.NumLogSessions(), *snapshotPath)
+			}
+		case *snapshotPath != "":
 			snapVisual, snapLog := engine.Snapshot()
 			if err := storage.SaveSnapshot(*snapshotPath, snapVisual, snapLog); err != nil {
 				log.Printf("cbirserver: save snapshot: %v", err)
 			} else {
 				log.Printf("cbirserver: snapshot of %d images (%d log sessions) written to %s",
 					len(snapVisual), snapLog.NumSessions(), *snapshotPath)
+			}
+		}
+		if journal != nil {
+			if err := journal.Close(); err != nil {
+				log.Printf("cbirserver: close journal: %v", err)
 			}
 		}
 	}()
@@ -103,28 +184,55 @@ func main() {
 	<-shutdownDone
 }
 
+// durabilityStatus adapts the journal, snapshotter and replay counters into
+// the /api/status durability section.
+func durabilityStatus(journal *storage.Journal, snapshotter *storage.Snapshotter, replay storage.ReplayStats) func() server.DurabilityStatus {
+	return func() server.DurabilityStatus {
+		js := journal.Stats()
+		d := server.DurabilityStatus{
+			Journal:           true,
+			FsyncPolicy:       journal.Fsync().String(),
+			JournaledRecords:  js.Records,
+			JournaledSessions: js.Sessions,
+			JournaledImages:   js.Images,
+			JournalBytes:      js.Bytes,
+			ReplayedSessions:  replay.Sessions,
+			ReplayedImages:    replay.Images,
+			ReplayTornBytes:   replay.TornTailBytes,
+		}
+		if snapshotter != nil {
+			ss := snapshotter.Stats()
+			d.Snapshots = ss.Snapshots
+			d.LastSnapshotUnix = ss.LastSnapshotUnix
+		}
+		return d
+	}
+}
+
 // loadCollection resolves the startup collection: an existing snapshot wins,
-// otherwise the feature store (plus optional log store) is imported.
-func loadCollection(snapshotPath, featuresPath, logPath string) ([]linalg.Vector, *feedbacklog.Log, error) {
+// otherwise the feature store (plus optional log store) is imported. The
+// third return is the journal sequence the loaded state covers (0 for a
+// fresh import or a snapshot written without a journal).
+func loadCollection(snapshotPath, featuresPath, logPath string) ([]linalg.Vector, *feedbacklog.Log, uint64, error) {
 	if snapshotPath != "" {
-		visual, fblog, err := storage.LoadSnapshot(snapshotPath)
+		visual, fblog, seq, err := storage.LoadSnapshotAt(snapshotPath)
 		if err == nil {
 			log.Printf("cbirserver: resuming from snapshot %s", snapshotPath)
-			return visual, fblog, nil
+			return visual, fblog, seq, nil
 		}
 		if !errors.Is(err, os.ErrNotExist) {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 	}
 	visual, _, err := storage.LoadFeatures(featuresPath)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	var fblog *feedbacklog.Log
 	if logPath != "" {
 		if fblog, err = storage.LoadLog(logPath); err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 	}
-	return visual, fblog, nil
+	return visual, fblog, 0, nil
 }

@@ -53,7 +53,47 @@
 // traffic: sessions idle longer than the TTL (default 30 minutes) are
 // evicted by a background sweeper, the live-session table is capped
 // (default 16384, least-recently-used evicted first), and Server.Close
-// shuts the session layer down gracefully.
+// shuts the session layer down gracefully. Sessions with an asynchronous
+// refinement round still in flight are never evicted mid-round (the
+// training result would be silently lost); they become evictable as soon
+// as the round completes.
+//
+// # Durability
+//
+// The accumulated feedback log is the system's most valuable state — the
+// paper's premise is that it grows over time and makes retrieval smarter —
+// so it must survive crashes, not just graceful shutdowns. storage.Journal
+// is a write-ahead log of engine mutations: every committed session and
+// every ingested image batch is appended as one CRC32-checksummed record
+// (retrieval.Options.Journal) before the in-memory state mutates, under
+// the engine's mutation lock, so journal order matches log order exactly
+// and a failed append fails the request (a record that could not be made
+// durable is rolled back out of the file). Startup replays snapshot +
+// journal (storage.OpenJournal) and reconstructs the pre-crash in-memory
+// engine bit-identically: records carry sequence numbers and the snapshot
+// records the sequence it covers (storage.SaveSnapshotAt), so replay skips
+// what the snapshot already contains — a crash between snapshot install
+// and journal compaction cannot double-apply a record. A torn trailing
+// record — which an interrupted append can only leave at the end of the
+// file — is tolerated and truncated, while a record whose bytes are all
+// present but wrong, or a journal compacted past its snapshot, surfaces as
+// storage.ErrCorrupt rather than silently discarding acknowledged records.
+// storage.Snapshotter periodically folds the journal into the snapshot
+// (serialized passes: capture state + covered sequence under the engine
+// lock, atomic SaveSnapshotAt, then drop the covered journal prefix),
+// bounding replay time by the tail written since the last snapshot.
+//
+// The fsync policy (storage.FsyncPolicy) trades commit latency against the
+// loss window of an OS crash or power failure: FsyncAlways syncs every
+// record, FsyncInterval (default) flushes on a background timer,
+// FsyncOff leaves flushing to the OS. An application crash — panic, OOM
+// kill, kill -9 — loses nothing under any policy, because records are
+// written straight to the file, never buffered in the process; this is
+// pinned by a crash-recovery suite that SIGKILLs a journaling helper
+// process mid-append. cmd/cbirserver wires the whole loop via -journal,
+// -fsync, -snapshot-interval and -journal-max-bytes, and exposes the
+// durability counters (journaled records, replay statistics, snapshot
+// compactions) in GET /api/status.
 //
 // # Feedback training
 //

@@ -86,10 +86,16 @@ func (l *Log) NumSessions() int { return len(l.sessions) }
 func (l *Log) Sessions() []Session { return l.sessions }
 
 // AddSession appends a session to the log, assigning its ID. Judgments that
-// reference images outside the collection are rejected.
+// reference images outside the collection are rejected, as is a query image
+// outside it — a session replayed from a corrupt store must not smuggle an
+// out-of-range query into the log, where it would only explode much later
+// in the query path.
 func (l *Log) AddSession(s Session) (int, error) {
 	if len(s.Judgments) == 0 {
 		return 0, fmt.Errorf("feedbacklog: session with no judgments")
+	}
+	if s.QueryImage < 0 || s.QueryImage >= l.numImages {
+		return 0, fmt.Errorf("feedbacklog: query image %d outside collection of %d images", s.QueryImage, l.numImages)
 	}
 	for img, j := range s.Judgments {
 		if img < 0 || img >= l.numImages {

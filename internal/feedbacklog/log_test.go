@@ -26,6 +26,15 @@ func TestAddSessionValidation(t *testing.T) {
 	if _, err := l.AddSession(Session{Judgments: map[int]Judgment{3: 2}}); err == nil {
 		t.Error("invalid judgment accepted")
 	}
+	// A query image outside the collection must be rejected too: a corrupt
+	// snapshot or journal record would otherwise smuggle it into the log
+	// and it would only explode later in the query path.
+	if _, err := l.AddSession(Session{QueryImage: 10, Judgments: map[int]Judgment{3: Relevant}}); err == nil {
+		t.Error("out-of-range query image accepted")
+	}
+	if _, err := l.AddSession(Session{QueryImage: -1, Judgments: map[int]Judgment{3: Relevant}}); err == nil {
+		t.Error("negative query image accepted")
+	}
 	id, err := l.AddSession(Session{Judgments: map[int]Judgment{3: Relevant, 4: Irrelevant}})
 	if err != nil {
 		t.Fatalf("valid session rejected: %v", err)

@@ -366,3 +366,36 @@ func TestConcurrentAsyncRefine(t *testing.T) {
 	}
 	_ = labels
 }
+
+// TestSessionPendingRefines pins the per-session pending counter the
+// server's eviction paths rely on: a submitted round counts as pending
+// until it completes, deterministically observed by occupying the training
+// pool so the round cannot start.
+func TestSessionPendingRefines(t *testing.T) {
+	visual, labels, log := testCollection(t)
+	e, err := NewEngine(visual, log, Options{TrainWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := judgedSession(t, e, 2, labels)
+	if p := s.PendingRefines(); p != 0 {
+		t.Fatalf("fresh session has %d pending refines", p)
+	}
+	// Occupy the single training slot: submitted rounds stay pending.
+	e.trainSem <- struct{}{}
+	token, err := s.RefineAsync(SchemeEuclidean, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.PendingRefines(); p != 1 {
+		t.Errorf("blocked round: %d pending refines, want 1", p)
+	}
+	<-e.trainSem
+	round := waitRound(t, s, token)
+	if round.State != RefineDone {
+		t.Fatalf("round failed: %s", round.Err)
+	}
+	if p := s.PendingRefines(); p != 0 {
+		t.Errorf("completed round still pending: %d", p)
+	}
+}

@@ -62,6 +62,20 @@ type Options struct {
 	// burst of feedback rounds cannot pile up unbounded training work.
 	// <=0 selects 64.
 	MaxPendingRefines int
+	// Journal is an optional durability sink (typically *storage.Journal):
+	// every committed feedback session and every ingested image batch is
+	// appended to it before the in-memory state mutates, under the same
+	// lock, so journal order matches log order exactly and a crash loses
+	// at most the mutation whose commit had not yet returned. A failed
+	// journal append fails the mutation.
+	Journal JournalSink
+}
+
+// JournalSink receives engine mutations for durable logging.
+// *storage.Journal implements it; tests substitute fakes.
+type JournalSink interface {
+	AppendSession(s feedbacklog.Session) error
+	AppendImages(descriptors []linalg.Vector) error
 }
 
 // Defaults for Options' zero values.
@@ -183,6 +197,14 @@ func (e *Engine) AddImages(descriptors []linalg.Vector) (int, error) {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Journal before mutating: if the append fails the collection is
+	// unchanged and the caller sees the error; if it succeeds the mutation
+	// below cannot fail (the descriptors were validated above).
+	if e.opts.Journal != nil {
+		if err := e.opts.Journal.AppendImages(added); err != nil {
+			return 0, fmt.Errorf("retrieval: journal ingestion: %w", err)
+		}
+	}
 	old := e.cur.Load()
 	first := len(old.visual)
 	// Plain append keeps the grow amortized: when it extends in place only
@@ -201,8 +223,20 @@ func (e *Engine) AddImages(descriptors []linalg.Vector) (int, error) {
 // descriptors and the feedback log, suitable for persisting while the engine
 // keeps serving and ingesting (see package storage's snapshot format).
 func (e *Engine) Snapshot() ([]linalg.Vector, *feedbacklog.Log) {
+	return e.SnapshotWith(nil)
+}
+
+// SnapshotWith is Snapshot with a hook: a non-nil mark is invoked while the
+// mutation lock is held, before the state is copied. The snapshotter uses it
+// to read the journal offset the captured state corresponds to — appends are
+// journaled under the same lock, so no record can land between the mark and
+// the copy. It satisfies storage.SnapshotSource.
+func (e *Engine) SnapshotWith(mark func()) ([]linalg.Vector, *feedbacklog.Log) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if mark != nil {
+		mark()
+	}
 	ep := e.cur.Load()
 	// The descriptor vectors themselves are immutable; copying the headers
 	// detaches the snapshot from the engine's append chain.
@@ -294,10 +328,14 @@ type Session struct {
 
 	// Asynchronous refinement rounds (see refine.go): rounds and nextToken
 	// are guarded by mu; latest publishes the most recent completed round
-	// for lock-free readers.
-	rounds    map[int]*refineRound
-	nextToken int
-	latest    atomic.Pointer[RefineRound]
+	// for lock-free readers, and pendingRounds mirrors the number of
+	// pending/running rounds so PendingRefines is a single atomic load —
+	// the server's eviction scan calls it for every table entry under its
+	// own write lock and must not take mu per session.
+	rounds        map[int]*refineRound
+	nextToken     int
+	latest        atomic.Pointer[RefineRound]
+	pendingRounds atomic.Int32
 }
 
 // StartSession begins a feedback session for the given query image.
@@ -402,9 +440,19 @@ func (s *Session) Commit() error {
 		}
 	}
 	e := s.engine
+	session := feedbacklog.Session{QueryImage: s.query, Judgments: judgments}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, err := e.log.AddSession(feedbacklog.Session{QueryImage: s.query, Judgments: judgments}); err != nil {
+	// Journal before mutating the log. The judgments were validated image
+	// by image in Judge and the query in StartSession, and the collection
+	// only grows, so once the journal append succeeds AddSession cannot
+	// fail — the durable record and the in-memory log cannot diverge.
+	if e.opts.Journal != nil {
+		if err := e.opts.Journal.AppendSession(session); err != nil {
+			return fmt.Errorf("retrieval: journal commit: %w", err)
+		}
+	}
+	if _, err := e.log.AddSession(session); err != nil {
 		return err
 	}
 	s.committed = true

@@ -87,6 +87,7 @@ func (s *Session) RefineAsync(kind SchemeKind, k int) (int, error) {
 		s.rounds = make(map[int]*refineRound)
 	}
 	s.rounds[token] = round
+	s.pendingRounds.Add(1)
 	// Retention: completed rounds older than the most recent
 	// maxRetainedRounds are pruned (their tokens stop resolving), so a
 	// long-lived session submitting rounds steadily holds a bounded set
@@ -128,6 +129,10 @@ func (s *Session) runRefineRound(round *refineRound, kind SchemeKind, k int) {
 		round.State = RefineDone
 		round.Results = results
 	}
+	// Decrement inside the critical section that publishes the final state:
+	// any observer that sees the round completed (RefineStatus takes mu)
+	// also sees it gone from the pending count.
+	s.pendingRounds.Add(-1)
 	snapshot := round.RefineRound
 	s.mu.Unlock()
 	s.publishRound(snapshot)
@@ -189,6 +194,16 @@ func (s *Session) LatestRefined() (RefineRound, bool) {
 		return *r, true
 	}
 	return RefineRound{}, false
+}
+
+// PendingRefines returns the number of this session's asynchronous rounds
+// still pending or running. The server's session sweeper consults it before
+// evicting: dropping a session mid-round would let the background training
+// keep working into an unreachable session and silently lose its result.
+// It is a single atomic load — eviction scans call it per table entry and
+// must not contend on the session's mutex.
+func (s *Session) PendingRefines() int {
+	return int(s.pendingRounds.Load())
 }
 
 // PendingRefines returns the number of asynchronous refinement rounds

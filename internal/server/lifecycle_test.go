@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -284,5 +285,177 @@ func TestConcurrentAPITraffic(t *testing.T) {
 	getJSON(t, srv.URL+"/api/status", &status)
 	if status.Images != 20+15 || status.LogSessions != 12 || status.ActiveSessions != 0 {
 		t.Errorf("final status = %+v", status)
+	}
+}
+
+// fakeSession is a controllable feedbackSession for lifecycle tests: its
+// pending-refine count is flipped directly, so eviction behavior around
+// in-flight rounds is tested deterministically instead of racing the real
+// training pool.
+type fakeSession struct {
+	pending atomic.Int32
+}
+
+func (f *fakeSession) Judge(int, bool) error { return nil }
+func (f *fakeSession) NumJudgments() int     { return 0 }
+func (f *fakeSession) Refine(retrieval.SchemeKind, int) ([]retrieval.Result, error) {
+	return nil, nil
+}
+func (f *fakeSession) RefineAsync(retrieval.SchemeKind, int) (int, error) { return 0, nil }
+func (f *fakeSession) RefineStatus(int) (retrieval.RefineRound, bool) {
+	return retrieval.RefineRound{}, false
+}
+func (f *fakeSession) LatestRefined() (retrieval.RefineRound, bool) {
+	return retrieval.RefineRound{}, false
+}
+func (f *fakeSession) Commit() error       { return nil }
+func (f *fakeSession) PendingRefines() int { return int(f.pending.Load()) }
+
+// has reports whether the session table still holds the given ID without
+// touching its last-used stamp (the session accessor would renew the TTL).
+func (s *Server) has(id int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.sessions[id]
+	return ok
+}
+
+// TestSweepSkipsSessionsWithPendingRefines: an idle-expired session whose
+// asynchronous round is still in flight must survive the sweep — evicting
+// it would let the background training keep working into an unreachable
+// session and silently lose its result — and must become evictable once the
+// round completes.
+func TestSweepSkipsSessionsWithPendingRefines(t *testing.T) {
+	s, _, clock := lifecycleServer(t, Config{SessionTTL: time.Minute})
+	pinned := &fakeSession{}
+	pinned.pending.Store(1)
+	idle := &fakeSession{}
+	pinnedID := s.addSession(pinned)
+	idleID := s.addSession(idle)
+	clock.Advance(2 * time.Minute) // both far past the TTL
+
+	if evicted := s.Sweep(); evicted != 1 {
+		t.Fatalf("swept %d sessions, want only the idle one", evicted)
+	}
+	if s.has(idleID) || !s.has(pinnedID) {
+		t.Fatalf("idle present=%v pinned present=%v after sweep", s.has(idleID), s.has(pinnedID))
+	}
+	// Concurrency shape (run with -race): sweeps racing round completion
+	// and new registrations must stay data-race free.
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Sweep()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			pinned.pending.Store(int32(i % 2))
+			s.addSession(&fakeSession{})
+		}
+	}()
+	wg.Wait()
+
+	// The round completes; the very next sweep evicts the session.
+	pinned.pending.Store(0)
+	s.Sweep()
+	if s.has(pinnedID) {
+		t.Error("session with completed round survived the sweep")
+	}
+}
+
+// TestAddSessionEvictionPrefersUnpinned: when the table is full the LRU
+// eviction must pick the oldest session without an in-flight round, falling
+// back to the overall LRU only when every session is mid-round (the cap
+// must hold regardless).
+func TestAddSessionEvictionPrefersUnpinned(t *testing.T) {
+	s, _, clock := lifecycleServer(t, Config{MaxSessions: 2})
+	older := &fakeSession{}
+	older.pending.Store(1)
+	newer := &fakeSession{}
+	olderID := s.addSession(older)
+	clock.Advance(time.Second)
+	newerID := s.addSession(newer)
+	clock.Advance(time.Second)
+
+	// older is the LRU but pinned: the unpinned newer session goes first.
+	thirdID := s.addSession(&fakeSession{})
+	if s.has(newerID) || !s.has(olderID) {
+		t.Fatalf("unpinned LRU not preferred: newer present=%v older present=%v", s.has(newerID), s.has(olderID))
+	}
+	// Pin everything: the cap still holds, overall LRU (older) is evicted.
+	third, ok := s.sessions[thirdID]
+	if !ok {
+		t.Fatal("third session missing")
+	}
+	third.session.(*fakeSession).pending.Store(1)
+	clock.Advance(time.Second)
+	s.addSession(&fakeSession{})
+	if s.has(olderID) || s.numSessions() != 2 {
+		t.Fatalf("all-pinned fallback: older present=%v live=%d", s.has(olderID), s.numSessions())
+	}
+}
+
+// TestAddSessionZeroMaxSessionsDoesNotSpin guards the config-bypass case: a
+// Server whose Config skipped withDefaults (MaxSessions 0 over an empty
+// table) used to spin the eviction loop forever deleting a key that was
+// never there.
+func TestAddSessionZeroMaxSessionsDoesNotSpin(t *testing.T) {
+	for _, max := range []int{0, -5} {
+		s := &Server{
+			cfg:      Config{MaxSessions: max},
+			now:      time.Now,
+			sessions: make(map[int]*sessionEntry),
+			nextID:   1,
+		}
+		done := make(chan int, 1)
+		go func() { done <- s.addSession(&fakeSession{}) }()
+		select {
+		case id := <-done:
+			if id != 1 || s.numSessions() != 1 {
+				t.Errorf("MaxSessions=%d: id=%d live=%d", max, id, s.numSessions())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("MaxSessions=%d: addSession never returned (eviction loop spinning)", max)
+		}
+	}
+}
+
+// TestStatusDurabilitySection: the durability counters are surfaced on
+// /api/status when configured and omitted otherwise.
+func TestStatusDurabilitySection(t *testing.T) {
+	want := DurabilityStatus{
+		Journal:           true,
+		FsyncPolicy:       "interval",
+		JournaledRecords:  7,
+		JournaledSessions: 5,
+		JournaledImages:   2,
+		JournalBytes:      321,
+		ReplayedSessions:  3,
+		ReplayedImages:    1,
+		ReplayTornBytes:   13,
+		Snapshots:         2,
+		LastSnapshotUnix:  1_000_000,
+	}
+	_, srv, _ := lifecycleServer(t, Config{Durability: func() DurabilityStatus { return want }})
+	var status StatusResponse
+	if resp := getJSON(t, srv.URL+"/api/status", &status); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	if status.Durability == nil || *status.Durability != want {
+		t.Errorf("durability section = %+v, want %+v", status.Durability, want)
+	}
+
+	_, plain, _ := lifecycleServer(t, Config{})
+	var none StatusResponse
+	getJSON(t, plain.URL+"/api/status", &none)
+	if none.Durability != nil {
+		t.Errorf("durability section present without a journal: %+v", none.Durability)
 	}
 }

@@ -82,6 +82,10 @@ type Config struct {
 	// request (the request body is additionally size-limited to what that
 	// many descriptors can plausibly encode); <=0 selects 4096.
 	MaxIngestImages int
+	// Durability optionally reports the persistence layer's counters
+	// (journal, replay, snapshot compaction); when set, GET /api/status
+	// includes them. cbirserver wires it when -journal is given.
+	Durability func() DurabilityStatus
 
 	// now overrides the clock; package tests use it to drive TTL eviction
 	// deterministically. Nil selects time.Now.
@@ -138,13 +142,28 @@ func (s *Server) clampK(k int) int {
 	return k
 }
 
+// feedbackSession is what the server needs from a live session. It is the
+// method set of *retrieval.Session; the indirection lets lifecycle tests
+// insert controllable fakes (e.g. a session whose refine round never
+// finishes) without racing the real training pool.
+type feedbackSession interface {
+	Judge(image int, relevant bool) error
+	NumJudgments() int
+	Refine(kind retrieval.SchemeKind, k int) ([]retrieval.Result, error)
+	RefineAsync(kind retrieval.SchemeKind, k int) (int, error)
+	RefineStatus(token int) (retrieval.RefineRound, bool)
+	LatestRefined() (retrieval.RefineRound, bool)
+	Commit() error
+	PendingRefines() int
+}
+
 // sessionEntry tracks one live session. The last-use timestamp is atomic so
 // concurrent requests touching the same or different sessions never contend
 // on the server's table lock longer than the map lookup itself; all
 // per-session state transitions are guarded by the session's own lock inside
 // retrieval.Session.
 type sessionEntry struct {
-	session  *retrieval.Session
+	session  feedbackSession
 	lastUsed atomic.Int64 // unix nanoseconds
 }
 
@@ -228,7 +247,11 @@ func (s *Server) sweeper() {
 }
 
 // Sweep evicts every session idle past the TTL and returns how many were
-// evicted. The background sweeper calls it periodically; it is exported so
+// evicted. Sessions with an asynchronous refinement round still pending or
+// running are skipped even when idle-expired: evicting one would leave the
+// background training working into an unreachable session and silently lose
+// its result — it becomes evictable on the pass after the round completes.
+// The background sweeper calls Sweep periodically; it is exported so
 // operators (and tests) can force a pass.
 func (s *Server) Sweep() int {
 	cutoff := s.now().Add(-s.cfg.SessionTTL).UnixNano()
@@ -236,7 +259,7 @@ func (s *Server) Sweep() int {
 	defer s.mu.Unlock()
 	evicted := 0
 	for id, ent := range s.sessions {
-		if ent.lastUsed.Load() < cutoff {
+		if ent.lastUsed.Load() < cutoff && ent.session.PendingRefines() == 0 {
 			delete(s.sessions, id)
 			evicted++
 		}
@@ -246,18 +269,19 @@ func (s *Server) Sweep() int {
 
 // addSession registers a session, evicting least-recently-used entries when
 // the table is full, and returns its ID.
-func (s *Server) addSession(session *retrieval.Session) int {
+func (s *Server) addSession(session feedbackSession) int {
 	now := s.now().UnixNano()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.sessions) >= s.cfg.MaxSessions {
-		lruID, lru := 0, int64(math.MaxInt64)
-		for id, ent := range s.sessions {
-			if v := ent.lastUsed.Load(); v < lru {
-				lruID, lru = id, v
-			}
+	// Guard MaxSessions explicitly: a Config that bypassed withDefaults
+	// (zero or negative cap over an empty table) would otherwise spin this
+	// loop forever deleting a key that is not there.
+	for s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		victim, ok := s.evictionVictimLocked()
+		if !ok {
+			break
 		}
-		delete(s.sessions, lruID)
+		delete(s.sessions, victim)
 	}
 	id := s.nextID
 	s.nextID++
@@ -267,8 +291,36 @@ func (s *Server) addSession(session *retrieval.Session) int {
 	return id
 }
 
+// evictionVictimLocked picks the least-recently-used session, preferring one
+// without an asynchronous refinement in flight (evicting mid-round loses the
+// training result, see Sweep). When every session is mid-round the overall
+// LRU is evicted anyway — the table must not grow past its cap. Returns
+// false only for an empty table.
+func (s *Server) evictionVictimLocked() (int, bool) {
+	freeID, free := 0, int64(math.MaxInt64)
+	anyID, any := 0, int64(math.MaxInt64)
+	found := false
+	for id, ent := range s.sessions {
+		v := ent.lastUsed.Load()
+		if v < any || !found {
+			anyID, any = id, v
+			found = true
+		}
+		if ent.session.PendingRefines() == 0 && v < free {
+			freeID, free = id, v
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	if free < int64(math.MaxInt64) {
+		return freeID, true
+	}
+	return anyID, true
+}
+
 // session looks a session up and marks it used.
-func (s *Server) session(id int) (*retrieval.Session, bool) {
+func (s *Server) session(id int) (feedbackSession, bool) {
 	s.mu.RLock()
 	ent, ok := s.sessions[id]
 	s.mu.RUnlock()
@@ -336,6 +388,31 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// DurabilityStatus is the durability section of GET /api/status: what the
+// write-ahead feedback journal has recorded, what startup replayed, and how
+// snapshot compaction is keeping up. All counters are since process start.
+type DurabilityStatus struct {
+	// Journal reports whether a journal is attached at all.
+	Journal     bool   `json:"journal"`
+	FsyncPolicy string `json:"fsync_policy,omitempty"`
+	// Journaled* count records appended since startup; JournalBytes is the
+	// current journal file size (compaction shrinks it back).
+	JournaledRecords  int64 `json:"journaled_records"`
+	JournaledSessions int64 `json:"journaled_sessions"`
+	JournaledImages   int64 `json:"journaled_images"`
+	JournalBytes      int64 `json:"journal_bytes"`
+	// Replayed* describe what startup recovered from the journal tail;
+	// ReplayTornBytes is the size of the torn trailing write truncated
+	// away (0 after a graceful shutdown).
+	ReplayedSessions int   `json:"replayed_sessions"`
+	ReplayedImages   int   `json:"replayed_images"`
+	ReplayTornBytes  int64 `json:"replay_torn_bytes"`
+	// Snapshots counts successful snapshot-compaction passes;
+	// LastSnapshotUnix is when the last one finished (0 before the first).
+	Snapshots        int64 `json:"snapshots"`
+	LastSnapshotUnix int64 `json:"last_snapshot_unix"`
+}
+
 // StatusResponse is the payload of GET /api/status.
 type StatusResponse struct {
 	Images         int `json:"images"`
@@ -343,6 +420,9 @@ type StatusResponse struct {
 	Shards         int `json:"shards"`
 	LogSessions    int `json:"log_sessions"`
 	ActiveSessions int `json:"active_sessions"`
+	// Durability is present when the server runs with a journal attached
+	// (Config.Durability).
+	Durability *DurabilityStatus `json:"durability,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -350,13 +430,18 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, StatusResponse{
+	resp := StatusResponse{
 		Images:         s.engine.NumImages(),
 		Dim:            s.engine.Dim(),
 		Shards:         s.engine.NumShards(),
 		LogSessions:    s.engine.NumLogSessions(),
 		ActiveSessions: s.numSessions(),
-	})
+	}
+	if s.cfg.Durability != nil {
+		d := s.cfg.Durability()
+		resp.Durability = &d
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ResultJSON is one ranked image in API responses.

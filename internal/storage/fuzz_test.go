@@ -2,7 +2,11 @@ package storage
 
 import (
 	"bytes"
+	"encoding/binary"
+	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"lrfcsvm/internal/feedbacklog"
@@ -47,6 +51,28 @@ func logsEquivalent(a, b *feedbacklog.Log) bool {
 	return true
 }
 
+// fuzzLogBytesBadQuery encodes a log store whose session claims an
+// out-of-range query image: record-level decoding alone cannot catch it
+// (the collection size is file-level state), so it used to round-trip
+// silently and explode later in the query path. ReadLog must reject it.
+func fuzzLogBytesBadQuery(f testing.TB) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, KindLog); err != nil {
+		f.Fatal(err)
+	}
+	var sizeRec [4]byte
+	binary.LittleEndian.PutUint32(sizeRec[:], 8)
+	if err := writeRecord(&buf, sizeRec[:]); err != nil {
+		f.Fatal(err)
+	}
+	bad := encodeSession(feedbacklog.Session{QueryImage: 1000, Judgments: map[int]feedbacklog.Judgment{2: feedbacklog.Relevant}})
+	if err := writeRecord(&buf, bad); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzLogRoundTrip feeds arbitrary bytes to the log decoder: decoding must
 // never panic, and whatever decodes successfully must survive a
 // write-and-reread round trip unchanged.
@@ -60,10 +86,18 @@ func FuzzLogRoundTrip(f *testing.F) {
 	f.Add(corrupt)
 	f.Add([]byte("LRFC junk"))
 	f.Add([]byte{})
+	f.Add(fuzzLogBytesBadQuery(f))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		log, err := ReadLog(bytes.NewReader(data))
 		if err != nil {
 			return
+		}
+		// Whatever decoded is internally consistent: every session's query
+		// image and judged images lie inside the declared collection.
+		for _, s := range log.Sessions() {
+			if err := validateSession(s, log.NumImages()); err != nil {
+				t.Fatalf("decoded log holds an invalid session: %v", err)
+			}
 		}
 		var buf bytes.Buffer
 		if err := WriteLog(&buf, log); err != nil {
@@ -125,6 +159,138 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 					t.Fatalf("descriptor %d changed across a round trip", i)
 				}
 			}
+		}
+	})
+}
+
+// fuzzJournalSeeds builds the seed inputs for FuzzJournalReplay: a valid
+// journal (sessions + an image batch), its torn truncations, a bit-flipped
+// copy, semantically invalid records (out-of-range query image and judged
+// image — the decode-validation regression), and junk.
+func fuzzJournalSeeds(f testing.TB) [][]byte {
+	f.Helper()
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.wal")
+	visual, fblog := journalBase(8, 3)
+	j, _, _, err := OpenJournal(path, visual, fblog, JournalOptions{Fsync: FsyncOff})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.AppendSession(journalSession(i, 8)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := j.AppendImages([]linalg.Vector{{1, 2, 3}, {4, 5, 6}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/3] ^= 0x10
+
+	withRecord := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := writeHeader(&buf, KindJournal); err != nil {
+			f.Fatal(err)
+		}
+		buf.Write(frameJournalRecord(baseRecordPayload(1)))
+		buf.Write(frameJournalRecord(payload))
+		return buf.Bytes()
+	}
+	badQuery := append([]byte{journalEntrySession},
+		encodeSession(feedbacklog.Session{QueryImage: 999, Judgments: map[int]feedbacklog.Judgment{1: feedbacklog.Relevant}})...)
+	badImage := append([]byte{journalEntrySession},
+		encodeSession(feedbacklog.Session{QueryImage: 1, Judgments: map[int]feedbacklog.Judgment{999: feedbacklog.Relevant}})...)
+	return [][]byte{
+		valid,
+		valid[:len(valid)-4],
+		valid[:journalHeaderLen+3],
+		corrupt,
+		withRecord(badQuery),
+		withRecord(badImage),
+		[]byte("LRFC"),
+		{},
+	}
+}
+
+// TestRegenerateJournalFuzzCorpus writes the FuzzJournalReplay seeds (and
+// the invalid-query-image log seed) into the checked-in corpus under
+// testdata/fuzz, so CI exercises them on every plain `go test` run without
+// -fuzz. Skipped unless LRFCSVM_WRITE_FUZZ_CORPUS=1 is set; rerun with it
+// after changing the journal format and commit the result.
+func TestRegenerateJournalFuzzCorpus(t *testing.T) {
+	if os.Getenv("LRFCSVM_WRITE_FUZZ_CORPUS") != "1" {
+		t.Skip("corpus generator; set LRFCSVM_WRITE_FUZZ_CORPUS=1 to regenerate")
+	}
+	write := func(name string, data []byte) {
+		t.Helper()
+		encoded := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(name, []byte(encoded), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzJournalReplay")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzJournalSeeds(t) {
+		write(filepath.Join(dir, fmt.Sprintf("seed-%d", i)), seed)
+	}
+	write(filepath.Join("testdata", "fuzz", "FuzzLogRoundTrip", "seed-badquery"), fuzzLogBytesBadQuery(t))
+}
+
+// FuzzJournalReplay feeds arbitrary bytes to the journal opener. Replay
+// must never panic; whatever it recovers must be internally consistent
+// (sessions validated against the replayed collection) and stable — the
+// repaired journal must replay to the identical state a second time and
+// still accept appends.
+func FuzzJournalReplay(f *testing.F) {
+	for _, seed := range fuzzJournalSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.wal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		visual, fblog := journalBase(8, 3)
+		j, visual, replay, err := OpenJournal(path, visual, fblog, JournalOptions{Fsync: FsyncOff})
+		if err != nil {
+			return
+		}
+		if len(visual) != fblog.NumImages() {
+			t.Fatalf("replay desynced: %d descriptors, log covers %d", len(visual), fblog.NumImages())
+		}
+		for _, s := range fblog.Sessions() {
+			if err := validateSession(s, fblog.NumImages()); err != nil {
+				t.Fatalf("replayed an invalid session: %v", err)
+			}
+		}
+		// Open truncated any torn tail, so a second replay of the same
+		// file must recover exactly the same state, cleanly.
+		if err := j.AppendSession(feedbacklog.Session{QueryImage: 0, Judgments: map[int]feedbacklog.Judgment{1: feedbacklog.Relevant}}); err != nil {
+			t.Fatalf("append after repair: %v", err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		visual2, fblog2 := journalBase(8, 3)
+		_, visual2, replay2, err := OpenJournal(path, visual2, fblog2, JournalOptions{Fsync: FsyncOff})
+		if err != nil {
+			t.Fatalf("re-replay of repaired journal: %v", err)
+		}
+		if replay2.TornTailBytes != 0 {
+			t.Fatalf("repaired journal still has a torn tail: %+v", replay2)
+		}
+		if replay2.Records != replay.Records+1 || replay2.Sessions != replay.Sessions+1 || len(visual2) != len(visual) {
+			t.Fatalf("re-replay diverged: %+v then %+v", replay, replay2)
 		}
 	})
 }

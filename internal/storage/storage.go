@@ -25,7 +25,6 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 
 	"lrfcsvm/internal/feedbacklog"
 	"lrfcsvm/internal/linalg"
@@ -36,6 +35,7 @@ const (
 	KindFeatures uint16 = 1
 	KindLog      uint16 = 2
 	KindSnapshot uint16 = 3
+	KindJournal  uint16 = 4
 )
 
 // formatVersion is bumped whenever the payload encoding changes.
@@ -270,6 +270,25 @@ func decodeSession(payload []byte) (feedbacklog.Session, error) {
 	return feedbacklog.Session{QueryImage: query, TargetCategory: category, Judgments: judgments}, nil
 }
 
+// validateSession checks a decoded session against the collection it
+// claims to belong to — the same rules feedbacklog.Log.AddSession enforces
+// (which is what actually guards every read path; an out-of-range query
+// image used to round-trip silently and only explode much later, in the
+// query path of a server that loaded the file). The fuzz targets use this
+// helper to assert the invariant on whatever a decoder accepts, without
+// rebuilding a log.
+func validateSession(s feedbacklog.Session, numImages int) error {
+	if s.QueryImage < 0 || s.QueryImage >= numImages {
+		return fmt.Errorf("%w: session query image %d outside collection of %d images", ErrCorrupt, s.QueryImage, numImages)
+	}
+	for img := range s.Judgments {
+		if img < 0 || img >= numImages {
+			return fmt.Errorf("%w: session judges image %d outside collection of %d images", ErrCorrupt, img, numImages)
+		}
+	}
+	return nil
+}
+
 // ReadLog reads a feedback log written by WriteLog.
 func ReadLog(r io.Reader) (*feedbacklog.Log, error) {
 	br := bufio.NewReader(r)
@@ -300,8 +319,10 @@ func ReadLog(r io.Reader) (*feedbacklog.Log, error) {
 		if err != nil {
 			return nil, err
 		}
+		// AddSession validates the query image and every judged image
+		// against the declared collection size.
 		if _, err := log.AddSession(session); err != nil {
-			return nil, fmt.Errorf("storage: rebuild log: %w", err)
+			return nil, fmt.Errorf("%w: rebuild log: %v", ErrCorrupt, err)
 		}
 	}
 }
@@ -339,6 +360,16 @@ func LoadLog(path string) (*feedbacklog.Log, error) {
 // sessions(u32), then one record of dim float64 per image, then one session
 // record per log session (encoding as in WriteLog).
 func WriteSnapshot(w io.Writer, visual []linalg.Vector, log *feedbacklog.Log) error {
+	return WriteSnapshotAt(w, visual, log, 0)
+}
+
+// WriteSnapshotAt is WriteSnapshot for a state that covers the write-ahead
+// journal up to journalSeq (see Journal.LastSeq): the sequence is recorded
+// in the meta record (appended as a u64; a zero sequence keeps the original
+// 12-byte meta encoding) so that a replay of snapshot + journal can skip
+// the records the snapshot already contains — regardless of whether the
+// journal was compacted before or after the crash.
+func WriteSnapshotAt(w io.Writer, visual []linalg.Vector, log *feedbacklog.Log, journalSeq uint64) error {
 	if len(visual) == 0 {
 		return fmt.Errorf("storage: snapshot of an empty collection")
 	}
@@ -353,11 +384,15 @@ func WriteSnapshot(w io.Writer, visual []linalg.Vector, log *feedbacklog.Log) er
 	if err := writeHeader(bw, KindSnapshot); err != nil {
 		return err
 	}
-	var meta [12]byte
+	meta := make([]byte, 12, 20)
 	binary.LittleEndian.PutUint32(meta[0:4], uint32(len(visual)))
 	binary.LittleEndian.PutUint32(meta[4:8], uint32(dim))
 	binary.LittleEndian.PutUint32(meta[8:12], uint32(log.NumSessions()))
-	if err := writeRecord(bw, meta[:]); err != nil {
+	if journalSeq != 0 {
+		meta = meta[:20]
+		binary.LittleEndian.PutUint64(meta[12:20], journalSeq)
+	}
+	if err := writeRecord(bw, meta); err != nil {
 		return err
 	}
 	for i, v := range visual {
@@ -380,24 +415,36 @@ func WriteSnapshot(w io.Writer, visual []linalg.Vector, log *feedbacklog.Log) er
 	return bw.Flush()
 }
 
-// ReadSnapshot reads an engine snapshot written by WriteSnapshot.
+// ReadSnapshot reads an engine snapshot written by WriteSnapshot,
+// discarding the journal coverage sequence if one is recorded.
 func ReadSnapshot(r io.Reader) ([]linalg.Vector, *feedbacklog.Log, error) {
+	visual, log, _, err := ReadSnapshotAt(r)
+	return visual, log, err
+}
+
+// ReadSnapshotAt reads an engine snapshot and the journal sequence it
+// covers (0 for snapshots written without a journal, or by WriteSnapshot).
+func ReadSnapshotAt(r io.Reader) ([]linalg.Vector, *feedbacklog.Log, uint64, error) {
 	br := bufio.NewReader(r)
 	if err := readHeader(br, KindSnapshot); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	meta, err := readRecord(br, maxRecordLen)
 	if err != nil {
-		return nil, nil, fmt.Errorf("storage: read snapshot meta record: %w", err)
+		return nil, nil, 0, fmt.Errorf("storage: read snapshot meta record: %w", err)
 	}
-	if len(meta) != 12 {
-		return nil, nil, fmt.Errorf("%w: bad snapshot meta record", ErrCorrupt)
+	if len(meta) != 12 && len(meta) != 20 {
+		return nil, nil, 0, fmt.Errorf("%w: bad snapshot meta record", ErrCorrupt)
 	}
 	images := int(binary.LittleEndian.Uint32(meta[0:4]))
 	dim := int(binary.LittleEndian.Uint32(meta[4:8]))
 	sessions := int(binary.LittleEndian.Uint32(meta[8:12]))
+	var journalSeq uint64
+	if len(meta) == 20 {
+		journalSeq = binary.LittleEndian.Uint64(meta[12:20])
+	}
 	if images <= 0 || dim <= 0 || uint32(dim) > maxRecordLen/8 {
-		return nil, nil, fmt.Errorf("%w: implausible snapshot shape %dx%d", ErrCorrupt, images, dim)
+		return nil, nil, 0, fmt.Errorf("%w: implausible snapshot shape %dx%d", ErrCorrupt, images, dim)
 	}
 	// Cap the preallocation: the image count is untrusted until the records
 	// actually arrive, and each one costs at least a record header.
@@ -409,10 +456,10 @@ func ReadSnapshot(r io.Reader) ([]linalg.Vector, *feedbacklog.Log, error) {
 	for i := 0; i < images; i++ {
 		payload, err := readRecord(br, maxRecordLen)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%w: truncated snapshot collection", ErrCorrupt)
+			return nil, nil, 0, fmt.Errorf("%w: truncated snapshot collection", ErrCorrupt)
 		}
 		if len(payload) != 8*dim {
-			return nil, nil, fmt.Errorf("%w: snapshot descriptor size mismatch", ErrCorrupt)
+			return nil, nil, 0, fmt.Errorf("%w: snapshot descriptor size mismatch", ErrCorrupt)
 		}
 		vec := make(linalg.Vector, dim)
 		for j := range vec {
@@ -424,20 +471,20 @@ func ReadSnapshot(r io.Reader) ([]linalg.Vector, *feedbacklog.Log, error) {
 	for i := 0; i < sessions; i++ {
 		payload, err := readRecord(br, maxRecordLen)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%w: truncated snapshot log", ErrCorrupt)
+			return nil, nil, 0, fmt.Errorf("%w: truncated snapshot log", ErrCorrupt)
 		}
 		session, err := decodeSession(payload)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		if _, err := log.AddSession(session); err != nil {
-			return nil, nil, fmt.Errorf("storage: rebuild snapshot log: %w", err)
+			return nil, nil, 0, fmt.Errorf("%w: rebuild snapshot log: %v", ErrCorrupt, err)
 		}
 	}
 	if _, err := readRecord(br, maxRecordLen); err != io.EOF {
-		return nil, nil, fmt.Errorf("%w: trailing data after snapshot", ErrCorrupt)
+		return nil, nil, 0, fmt.Errorf("%w: trailing data after snapshot", ErrCorrupt)
 	}
-	return visual, log, nil
+	return visual, log, journalSeq, nil
 }
 
 // SaveSnapshot writes an engine snapshot to the named file atomically: the
@@ -445,19 +492,22 @@ func ReadSnapshot(r io.Reader) ([]linalg.Vector, *feedbacklog.Log, error) {
 // over the destination, so a crash mid-write never destroys the previous
 // snapshot.
 func SaveSnapshot(path string, visual []linalg.Vector, log *feedbacklog.Log) error {
-	dir, base := filepath.Split(path)
-	if dir == "" {
-		// A bare filename must stage in the current directory, not in
-		// os.TempDir (often a different filesystem, where the rename would
-		// fail with EXDEV).
-		dir = "."
-	}
+	return SaveSnapshotAt(path, visual, log, 0)
+}
+
+// SaveSnapshotAt is SaveSnapshot recording the journal sequence the state
+// covers (see WriteSnapshotAt); the snapshotter uses it so crash replay can
+// tell which journal records the snapshot already contains.
+func SaveSnapshotAt(path string, visual []linalg.Vector, log *feedbacklog.Log, journalSeq uint64) error {
+	// Stage in the destination directory, not os.TempDir (often a different
+	// filesystem, where the rename would fail with EXDEV).
+	dir, base := splitDir(path)
 	tmp, err := os.CreateTemp(dir, base+".tmp*")
 	if err != nil {
 		return fmt.Errorf("storage: stage snapshot: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := WriteSnapshot(tmp, visual, log); err != nil {
+	if err := WriteSnapshotAt(tmp, visual, log, journalSeq); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -479,12 +529,20 @@ func SaveSnapshot(path string, visual []linalg.Vector, log *feedbacklog.Log) err
 
 // LoadSnapshot reads an engine snapshot from the named file.
 func LoadSnapshot(path string) ([]linalg.Vector, *feedbacklog.Log, error) {
+	visual, log, _, err := LoadSnapshotAt(path)
+	return visual, log, err
+}
+
+// LoadSnapshotAt reads an engine snapshot and the journal sequence it
+// covers; pass the sequence to OpenJournal (JournalOptions.SnapshotSeq) so
+// replay skips the records the snapshot already contains.
+func LoadSnapshotAt(path string) ([]linalg.Vector, *feedbacklog.Log, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("storage: open %s: %w", path, err)
+		return nil, nil, 0, fmt.Errorf("storage: open %s: %w", path, err)
 	}
 	defer f.Close()
-	return ReadSnapshot(f)
+	return ReadSnapshotAt(f)
 }
 
 // sortInts is a tiny insertion sort; session judgment lists are ~20 entries,
