@@ -16,6 +16,15 @@
 // folds the journal into the snapshot every -snapshot-interval (or sooner
 // when it reaches -journal-max-bytes), bounding replay time.
 //
+// The serving path is deadline-aware: -query-timeout and -train-timeout
+// bound each request (an expired or disconnected request stops its
+// collection scan and SVM training mid-way), and -max-inflight-query /
+// -max-inflight-train / -max-inflight-ingest cap concurrent work per
+// request class — excess requests queue briefly and are then shed with
+// 503 + Retry-After. The listener itself runs with fixed connection
+// hygiene timeouts (10s read-header, 2m read, 2m idle). See the server
+// package documentation for the full resilience semantics.
+//
 // Example:
 //
 //	featextract -out features.bin
@@ -59,6 +68,11 @@ func main() {
 		defaultK     = flag.Int("default-k", server.DefaultResultK, "result-list length when a request omits k")
 		maxK         = flag.Int("max-k", server.DefaultMaxK, "hard cap on the result-list length of any request")
 		trainWorkers = flag.Int("train-workers", 0, "feedback-training concurrency: size of the async-refine worker pool and of each round's coupled modality training (0 = library default)")
+		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "deadline of each query request; an expired one stops scanning mid-collection and returns 504 (0 = no deadline)")
+		trainTimeout = flag.Duration("train-timeout", 30*time.Second, "deadline of each synchronous refine request and of every async refine round (0 = no deadline)")
+		maxQuery     = flag.Int("max-inflight-query", 0, "concurrent query requests admitted; beyond it requests queue briefly and then shed with 503 (0 = unlimited)")
+		maxTrain     = flag.Int("max-inflight-train", 0, "concurrent refine requests admitted (0 = unlimited)")
+		maxIngest    = flag.Int("max-inflight-ingest", 0, "concurrent ingest/commit requests admitted (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -94,7 +108,7 @@ func main() {
 		}
 	}
 
-	opts := retrieval.Options{ShardSize: *shardSize, TrainWorkers: *trainWorkers}
+	opts := retrieval.Options{ShardSize: *shardSize, TrainWorkers: *trainWorkers, RefineTimeout: *trainTimeout}
 	if journal != nil {
 		opts.Journal = journal
 	}
@@ -122,16 +136,33 @@ func main() {
 	}
 
 	cfg := server.Config{
-		SessionTTL:  *sessionTTL,
-		MaxSessions: *maxSessions,
-		DefaultK:    *defaultK,
-		MaxK:        *maxK,
+		SessionTTL:        *sessionTTL,
+		MaxSessions:       *maxSessions,
+		DefaultK:          *defaultK,
+		MaxK:              *maxK,
+		QueryTimeout:      *queryTimeout,
+		TrainTimeout:      *trainTimeout,
+		MaxInflightQuery:  *maxQuery,
+		MaxInflightTrain:  *maxTrain,
+		MaxInflightIngest: *maxIngest,
 	}
 	if journal != nil {
 		cfg.Durability = durabilityStatus(journal, snapshotter, replay)
 	}
 	srv := server.NewWithConfig(engine, cfg)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Protect the listener itself, not just the handlers: a client that
+	// trickles its headers or body holds a connection, and an idle keep-alive
+	// connection should not pin a file descriptor forever. The header and
+	// idle timeouts are fixed, deliberately generous defaults; per-request
+	// work is bounded by -query-timeout/-train-timeout instead of
+	// WriteTimeout, which would also kill legitimate long responses.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -148,6 +179,9 @@ func main() {
 			log.Printf("cbirserver: shutdown: %v", err)
 		}
 		srv.Close()
+		// Cancel the engine's base context: queued and running async refine
+		// rounds stop promptly instead of training into the final snapshot.
+		engine.Close()
 		switch {
 		case snapshotter != nil:
 			// Final pass: snapshot the end state and compact the journal to

@@ -23,7 +23,10 @@ func (Euclidean) Rank(ctx *QueryContext) ([]float64, error) {
 	if err := validateEuclidean(ctx); err != nil {
 		return nil, err
 	}
-	dist := queryDistances(ctx, ctx.collectionBatch())
+	dist, err := queryDistances(ctx, ctx.collectionBatch())
+	if err != nil {
+		return nil, err
+	}
 	scores := make([]float64, ctx.NumImages())
 	for i := range scores {
 		scores[i] = -dist[i]
@@ -48,7 +51,7 @@ func (Euclidean) RankTopAppend(ctx *QueryContext, k int, dst []Ranked) ([]Ranked
 	q := linalg.Vector(b.VisualSet().Point(ctx.Query))
 	return rankTopRanges(ctx, b, k, dst, func(sub *kernel.DenseSet, lo int, dst []float64) {
 		scoreDistanceRange(q, sub, dst)
-	}), nil
+	})
 }
 
 func validateEuclidean(ctx *QueryContext) error {
@@ -142,6 +145,10 @@ func (o SVMOptions) withDefaults(ctx *QueryContext, b *CollectionBatch) SVMOptio
 	if o.LogKernel == nil {
 		o.LogKernel = defaultLogKernel(ctx)
 	}
+	if o.Solver.Ctx == nil {
+		// Cancelling the query cancels its training rounds too.
+		o.Solver.Ctx = ctx.Ctx
+	}
 	return o
 }
 
@@ -195,8 +202,13 @@ func (s RFSVM) Rank(ctx *QueryContext) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	scores := rankVisual(ctx, batch, model)
-	addQueryPriorBatch(scores, ctx, batch)
+	scores, err := rankVisual(ctx, batch, model)
+	if err != nil {
+		return nil, err
+	}
+	if err := addQueryPriorBatch(scores, ctx, batch); err != nil {
+		return nil, err
+	}
 	return scores, nil
 }
 
@@ -217,7 +229,7 @@ func (s RFSVM) RankTopAppend(ctx *QueryContext, k int, dst []Ranked) ([]Ranked, 
 	if err != nil {
 		return nil, err
 	}
-	return rankTopVisual(ctx, batch, model, k, dst), nil
+	return rankTopVisual(ctx, batch, model, k, dst)
 }
 
 // LRF2SVMs is the "straightforward" log-based relevance feedback approach the
@@ -256,8 +268,13 @@ func (s LRF2SVMs) Rank(ctx *QueryContext) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	scores := rankCoupled(ctx, batch, visualModel, logModel)
-	addQueryPriorBatch(scores, ctx, batch)
+	scores, err := rankCoupled(ctx, batch, visualModel, logModel)
+	if err != nil {
+		return nil, err
+	}
+	if err := addQueryPriorBatch(scores, ctx, batch); err != nil {
+		return nil, err
+	}
 	return scores, nil
 }
 
@@ -278,5 +295,5 @@ func (s LRF2SVMs) RankTopAppend(ctx *QueryContext, k int, dst []Ranked) ([]Ranke
 	if err != nil {
 		return nil, err
 	}
-	return rankTopCoupled(ctx, batch, visualModel, logModel, k, dst), nil
+	return rankTopCoupled(ctx, batch, visualModel, logModel, k, dst)
 }

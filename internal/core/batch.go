@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -198,7 +199,14 @@ func (ctx *QueryContext) workers() int {
 // view plus the global index of its first row; it must only write state
 // owned by its own range. With one worker the shards are visited in order
 // on the calling goroutine with no scheduling overhead or allocation.
-func forEachRange(set *kernel.ShardedSet, workers int, fn func(sub *kernel.DenseSet, lo int)) {
+//
+// stdctx is checked between ranges: once it is cancelled, no worker starts
+// another range (each finishes at most the range it is inside), so a
+// disconnected client or an expired deadline frees the scoring workers
+// within one shard range. Callers detect the early exit by checking the
+// context after forEachRange returns; partial results must then be
+// discarded, never cached. A nil context is never cancelled.
+func forEachRange(stdctx context.Context, set *kernel.ShardedSet, workers int, fn func(sub *kernel.DenseSet, lo int)) {
 	n := set.Len()
 	if n == 0 {
 		return
@@ -208,6 +216,9 @@ func forEachRange(set *kernel.ShardedSet, workers int, fn func(sub *kernel.Dense
 	}
 	if workers <= 1 {
 		for si := 0; si < set.NumShards(); si++ {
+			if ctxErr(stdctx) != nil {
+				return
+			}
 			fn(set.Shard(si), set.ShardStart(si))
 		}
 		return
@@ -227,6 +238,9 @@ func forEachRange(set *kernel.ShardedSet, workers int, fn func(sub *kernel.Dense
 		go func() {
 			defer wg.Done()
 			for {
+				if ctxErr(stdctx) != nil {
+					return
+				}
 				t := int(next.Add(1)) - 1
 				if t >= numTasks {
 					return
@@ -255,7 +269,7 @@ func forEachRange(set *kernel.ShardedSet, workers int, fn func(sub *kernel.Dense
 // so the merged result is the unique global top-K — bit-identical to
 // materializing every score and fully sorting, for any shard size and
 // worker count.
-func rankTopRanges(ctx *QueryContext, b *CollectionBatch, k int, dst []Ranked, fn func(sub *kernel.DenseSet, lo int, dst []float64)) []Ranked {
+func rankTopRanges(ctx *QueryContext, b *CollectionBatch, k int, dst []Ranked, fn func(sub *kernel.DenseSet, lo int, dst []float64)) ([]Ranked, error) {
 	set := b.VisualSet()
 	n := set.Len()
 	if k > n {
@@ -265,13 +279,18 @@ func rankTopRanges(ctx *QueryContext, b *CollectionBatch, k int, dst []Ranked, f
 		if dst == nil {
 			dst = []Ranked{}
 		}
-		return dst
+		return dst, nil
 	}
+	stdctx := ctx.Ctx
 	workers := ctx.workers()
 	if workers <= 1 || n <= 1 {
 		sc := b.scratchGet()
 		sc.sel.reset(k)
 		for si := 0; si < set.NumShards(); si++ {
+			if err := ctxErr(stdctx); err != nil {
+				b.scratchPut(sc)
+				return nil, err
+			}
 			shard := set.Shard(si)
 			lo := set.ShardStart(si)
 			scores := sc.lane(0, shard.Len())
@@ -282,7 +301,7 @@ func rankTopRanges(ctx *QueryContext, b *CollectionBatch, k int, dst []Ranked, f
 		}
 		dst = sc.sel.drain(dst)
 		b.scratchPut(sc)
-		return dst
+		return dst, nil
 	}
 	// The global merge selector comes from the pool too, so the parallel
 	// path allocates nothing per query beyond the goroutines themselves.
@@ -290,7 +309,7 @@ func rankTopRanges(ctx *QueryContext, b *CollectionBatch, k int, dst []Ranked, f
 	gsc := b.scratchGet()
 	global := &gsc.sel
 	global.reset(k)
-	forEachRange(set, workers, func(sub *kernel.DenseSet, lo int) {
+	forEachRange(stdctx, set, workers, func(sub *kernel.DenseSet, lo int) {
 		sc := b.scratchGet()
 		scores := sc.lane(0, sub.Len())
 		fn(sub, lo, scores)
@@ -303,22 +322,30 @@ func rankTopRanges(ctx *QueryContext, b *CollectionBatch, k int, dst []Ranked, f
 		mu.Unlock()
 		b.scratchPut(sc)
 	})
+	if err := ctxErr(stdctx); err != nil {
+		// The merged selection is missing the unscored ranges; discard it.
+		b.scratchPut(gsc)
+		return nil, err
+	}
 	dst = global.drain(dst)
 	b.scratchPut(gsc)
-	return dst
+	return dst, nil
 }
 
 // rankVisual scores every image of the collection under a visual-modality
 // model, sharded across the context's workers.
-func rankVisual(ctx *QueryContext, b *CollectionBatch, model *svm.Model) []float64 {
+func rankVisual(ctx *QueryContext, b *CollectionBatch, model *svm.Model) ([]float64, error) {
 	set := b.VisualSet()
 	scores := make([]float64, set.Len())
-	forEachRange(set, ctx.workers(), func(sub *kernel.DenseSet, lo int) {
+	forEachRange(ctx.Ctx, set, ctx.workers(), func(sub *kernel.DenseSet, lo int) {
 		sc := b.scratchGet()
 		model.DecisionSet(sub, scores[lo:lo+sub.Len()], sc.lane(0, sub.Len()))
 		b.scratchPut(sc)
 	})
-	return scores
+	if err := ctxErr(ctx.Ctx); err != nil {
+		return nil, err
+	}
+	return scores, nil
 }
 
 // scoreCoupledRange scores one shard range by the summed decision value of a
@@ -338,20 +365,26 @@ func scoreCoupledRange(b *CollectionBatch, visualModel, logModel *svm.Model, log
 // rankCoupled scores every image by the summed decision value of a visual
 // and a log model (the combined score of the two-modality schemes), sharded
 // across the context's workers.
-func rankCoupled(ctx *QueryContext, b *CollectionBatch, visualModel, logModel *svm.Model) []float64 {
+func rankCoupled(ctx *QueryContext, b *CollectionBatch, visualModel, logModel *svm.Model) ([]float64, error) {
 	set := b.VisualSet()
 	logPts := b.logPoints(ctx.LogVectors)
 	scores := make([]float64, set.Len())
-	forEachRange(set, ctx.workers(), func(sub *kernel.DenseSet, lo int) {
+	forEachRange(ctx.Ctx, set, ctx.workers(), func(sub *kernel.DenseSet, lo int) {
 		scoreCoupledRange(b, visualModel, logModel, logPts, sub, lo, scores[lo:lo+sub.Len()])
 	})
-	return scores
+	if err := ctxErr(ctx.Ctx); err != nil {
+		return nil, err
+	}
+	return scores, nil
 }
 
 // rankTopVisual is the streaming counterpart of rankVisual followed by the
 // query prior and top-k selection, appending into dst.
-func rankTopVisual(ctx *QueryContext, b *CollectionBatch, model *svm.Model, k int, dst []Ranked) []Ranked {
-	dist := queryDistances(ctx, b)
+func rankTopVisual(ctx *QueryContext, b *CollectionBatch, model *svm.Model, k int, dst []Ranked) ([]Ranked, error) {
+	dist, err := queryDistances(ctx, b)
+	if err != nil {
+		return nil, err
+	}
 	return rankTopRanges(ctx, b, k, dst, func(sub *kernel.DenseSet, lo int, dst []float64) {
 		sc := b.scratchGet()
 		model.DecisionSet(sub, dst, sc.lane(1, sub.Len()))
@@ -364,8 +397,11 @@ func rankTopVisual(ctx *QueryContext, b *CollectionBatch, model *svm.Model, k in
 
 // rankTopCoupled is the streaming counterpart of rankCoupled followed by the
 // query prior and top-k selection, appending into dst.
-func rankTopCoupled(ctx *QueryContext, b *CollectionBatch, visualModel, logModel *svm.Model, k int, dst []Ranked) []Ranked {
-	dist := queryDistances(ctx, b)
+func rankTopCoupled(ctx *QueryContext, b *CollectionBatch, visualModel, logModel *svm.Model, k int, dst []Ranked) ([]Ranked, error) {
+	dist, err := queryDistances(ctx, b)
+	if err != nil {
+		return nil, err
+	}
 	logPts := b.logPoints(ctx.LogVectors)
 	return rankTopRanges(ctx, b, k, dst, func(sub *kernel.DenseSet, lo int, dst []float64) {
 		scoreCoupledRange(b, visualModel, logModel, logPts, sub, lo, dst)
@@ -382,31 +418,36 @@ func rankTopCoupled(ctx *QueryContext, b *CollectionBatch, visualModel, logModel
 // the norm-expansion batch path (one matrix-vector product per shard against
 // the precomputed row norms); EXPERIMENTS.md documents the O(1e-15)
 // per-score drift and the unchanged MAP metrics.
-func queryDistances(ctx *QueryContext, b *CollectionBatch) []float64 {
+func queryDistances(ctx *QueryContext, b *CollectionBatch) ([]float64, error) {
 	b.distMu.Lock()
 	if b.dist != nil && b.distQuery == ctx.Query {
 		dst := b.dist
 		b.distMu.Unlock()
-		return dst
+		return dst, nil
 	}
 	b.distMu.Unlock()
 
 	set := b.VisualSet()
 	q := linalg.Vector(set.Point(ctx.Query))
 	dst := make([]float64, set.Len())
-	forEachRange(set, ctx.workers(), func(sub *kernel.DenseSet, lo int) {
+	forEachRange(ctx.Ctx, set, ctx.workers(), func(sub *kernel.DenseSet, lo int) {
 		out := dst[lo : lo+sub.Len()]
 		sub.Matrix().RowSquaredDistancesNormInto(out, q, sub.Norms())
 		for i := range out {
 			out[i] = math.Sqrt(out[i])
 		}
 	})
+	if err := ctxErr(ctx.Ctx); err != nil {
+		// A cancelled scan leaves unscored ranges zero-filled; caching the
+		// partial row would corrupt every later query for the same image.
+		return nil, err
+	}
 
 	b.distMu.Lock()
 	b.distQuery = ctx.Query
 	b.dist = dst
 	b.distMu.Unlock()
-	return dst
+	return dst, nil
 }
 
 // scoreDistanceRange writes the negative Euclidean distance of one shard
@@ -422,9 +463,13 @@ func scoreDistanceRange(q linalg.Vector, sub *kernel.DenseSet, dst []float64) {
 // addQueryPriorBatch adds the initial-similarity prior to scores in place
 // through the batched, per-query-cached distance row; see queryPriorWeight
 // for the rationale.
-func addQueryPriorBatch(scores []float64, ctx *QueryContext, b *CollectionBatch) {
-	dist := queryDistances(ctx, b)
+func addQueryPriorBatch(scores []float64, ctx *QueryContext, b *CollectionBatch) error {
+	dist, err := queryDistances(ctx, b)
+	if err != nil {
+		return err
+	}
 	for i := range scores {
 		scores[i] -= queryPriorWeight * dist[i]
 	}
+	return nil
 }

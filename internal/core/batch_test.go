@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestForEachRangeCoversCollection(t *testing.T) {
 			for _, workers := range []int{1, 2, 3, 8, 200} {
 				seen := make([]int, n)
 				var mu sync.Mutex
-				forEachRange(set, workers, func(sub *kernel.DenseSet, lo int) {
+				forEachRange(context.Background(), set, workers, func(sub *kernel.DenseSet, lo int) {
 					if sub.Len() > shardSize {
 						t.Errorf("range of %d rows exceeds shard size %d", sub.Len(), shardSize)
 					}

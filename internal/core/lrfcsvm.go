@@ -54,6 +54,10 @@ func (p CSVMParams) withDefaults(ctx *QueryContext, b *CollectionBatch) CSVMPara
 		p.NumUnlabeled = d.NumUnlabeled
 	}
 	p.Coupled = p.Coupled.withDefaults()
+	if p.Coupled.Solver.Ctx == nil {
+		// Cancelling the query cancels its training rounds too.
+		p.Coupled.Solver.Ctx = ctx.Ctx
+	}
 	if p.VisualKernel == nil {
 		p.VisualKernel = defaultVisualKernel(b)
 	}
@@ -135,7 +139,10 @@ func (s LRFCSVM) trainingProblem(ctx *QueryContext, batch *CollectionBatch, p CS
 
 	n := ctx.NumImages()
 	labeledSet := ctx.labeledSet()
-	combined := rankCoupled(ctx, batch, visualInit, logInit)
+	combined, err := rankCoupled(ctx, batch, visualInit, logInit)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
 	candidates := make([]int, 0, n)
 	for i := 0; i < n; i++ {
 		if !labeledSet[i] {
@@ -212,8 +219,13 @@ func (s LRFCSVM) RankDetailed(ctx *QueryContext) (*CSVMResult, error) {
 
 	// Step 3 — retrieve by the coupled decision value (with the same
 	// initial-similarity tie-break prior as the other SVM schemes).
-	scores := rankCoupled(ctx, batch, coupled.Models[0], coupled.Models[1])
-	addQueryPriorBatch(scores, ctx, batch)
+	scores, err := rankCoupled(ctx, batch, coupled.Models[0], coupled.Models[1])
+	if err != nil {
+		return nil, err
+	}
+	if err := addQueryPriorBatch(scores, ctx, batch); err != nil {
+		return nil, err
+	}
 	return &CSVMResult{
 		Scores:          scores,
 		Unlabeled:       unlabeledIdx,
@@ -240,7 +252,7 @@ func (s LRFCSVM) RankTopAppend(ctx *QueryContext, k int, dst []Ranked) ([]Ranked
 	if err != nil {
 		return nil, err
 	}
-	return rankTopCoupled(ctx, batch, coupled.Models[0], coupled.Models[1], k, dst), nil
+	return rankTopCoupled(ctx, batch, coupled.Models[0], coupled.Models[1], k, dst)
 }
 
 // selectUnlabeled drafts up to num unlabeled images from candidates: half
@@ -483,7 +495,10 @@ func (s LRFCSVMWithSelection) Rank(ctx *QueryContext) ([]float64, error) {
 		return nil, err
 	}
 	labeledSet := ctx.labeledSet()
-	combined := rankCoupled(ctx, batch, visualInit, logInit)
+	combined, err := rankCoupled(ctx, batch, visualInit, logInit)
+	if err != nil {
+		return nil, err
+	}
 	candidates := make([]int, 0, ctx.NumImages())
 	for i := 0; i < ctx.NumImages(); i++ {
 		if !labeledSet[i] {
@@ -510,8 +525,13 @@ func (s LRFCSVMWithSelection) Rank(ctx *QueryContext) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	scores := rankCoupled(ctx, batch, coupled.Models[0], coupled.Models[1])
-	addQueryPriorBatch(scores, ctx, batch)
+	scores, err := rankCoupled(ctx, batch, coupled.Models[0], coupled.Models[1])
+	if err != nil {
+		return nil, err
+	}
+	if err := addQueryPriorBatch(scores, ctx, batch); err != nil {
+		return nil, err
+	}
 	return scores, nil
 }
 

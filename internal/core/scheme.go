@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lrfcsvm/internal/kernel"
@@ -48,6 +49,30 @@ type QueryContext struct {
 	// visual storage, kernel estimates) shared across the queries hitting
 	// one collection. Nil makes each Rank call precompute transiently.
 	Batch *CollectionBatch
+	// Ctx optionally carries the caller's cancellation context. The sharded
+	// scoring path checks it between shard ranges and the SMO solver checks
+	// it periodically between iterations, so a cancelled or deadline-expired
+	// query stops scanning (and training) early and returns the context's
+	// error. Nil means never cancelled. An uncancelled context changes no
+	// score: the checks are read-only and the arithmetic is untouched.
+	Ctx context.Context
+}
+
+// Context returns the context attached to the query, or context.Background()
+// when none is.
+func (ctx *QueryContext) Context() context.Context {
+	if ctx.Ctx != nil {
+		return ctx.Ctx
+	}
+	return context.Background()
+}
+
+// ctxErr returns the cancellation state of an optional context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Validate checks structural consistency of the context.

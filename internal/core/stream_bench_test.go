@@ -133,12 +133,16 @@ func BenchmarkRankingPathRFSVM(b *testing.B) {
 		ctx := coll.queryContext(3, 10)
 		ctx.Workers = 1
 		ctx.Batch = mono
-		queryDistances(ctx, mono) // warm the per-query distance row
+		if _, err := queryDistances(ctx, mono); err != nil {
+			b.Fatal(err)
+		} // warm the per-query distance row
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			scores := oldRankVisual(mono, model)
-			addQueryPriorBatch(scores, ctx, mono)
+			if err := addQueryPriorBatch(scores, ctx, mono); err != nil {
+				b.Fatal(err)
+			}
 			if got := fullSortSelect(scores, benchK); len(got) != benchK {
 				b.Fatal("short selection")
 			}
@@ -148,12 +152,17 @@ func BenchmarkRankingPathRFSVM(b *testing.B) {
 		ctx := coll.queryContext(3, 10)
 		ctx.Workers = 1
 		ctx.Batch = sharded
-		queryDistances(ctx, sharded)
+		if _, err := queryDistances(ctx, sharded); err != nil {
+			b.Fatal(err)
+		}
 		buf := make([]Ranked, 0, benchK)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			got := rankTopVisual(ctx, sharded, model, benchK, buf[:0])
+			got, err := rankTopVisual(ctx, sharded, model, benchK, buf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
 			if len(got) != benchK {
 				b.Fatal("short selection")
 			}
@@ -178,12 +187,16 @@ func BenchmarkRankingPathCoupled(b *testing.B) {
 		ctx := coll.queryContext(3, 10)
 		ctx.Workers = 1
 		ctx.Batch = mono
-		queryDistances(ctx, mono)
+		if _, err := queryDistances(ctx, mono); err != nil {
+			b.Fatal(err)
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			scores := oldRankCoupled(ctx, mono, visualModel, logModel)
-			addQueryPriorBatch(scores, ctx, mono)
+			if err := addQueryPriorBatch(scores, ctx, mono); err != nil {
+				b.Fatal(err)
+			}
 			if got := fullSortSelect(scores, benchK); len(got) != benchK {
 				b.Fatal("short selection")
 			}
@@ -193,12 +206,17 @@ func BenchmarkRankingPathCoupled(b *testing.B) {
 		ctx := coll.queryContext(3, 10)
 		ctx.Workers = 1
 		ctx.Batch = sharded
-		queryDistances(ctx, sharded)
+		if _, err := queryDistances(ctx, sharded); err != nil {
+			b.Fatal(err)
+		}
 		buf := make([]Ranked, 0, benchK)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			got := rankTopCoupled(ctx, sharded, visualModel, logModel, benchK, buf[:0])
+			got, err := rankTopCoupled(ctx, sharded, visualModel, logModel, benchK, buf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
 			if len(got) != benchK {
 				b.Fatal("short selection")
 			}

@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,7 +38,7 @@ func judgedSession(t *testing.T, e *Engine, query int, labels []int) *Session {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := e.InitialQuery(query, 8)
+	results, err := e.InitialQuery(context.Background(), query, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +61,11 @@ func TestRefineAsyncMatchesSync(t *testing.T) {
 	}
 	s := judgedSession(t, e, 2, labels)
 	for _, kind := range []SchemeKind{SchemeEuclidean, SchemeRFSVM, SchemeLRF2SVMs, SchemeLRFCSVM} {
-		want, err := s.Refine(kind, 10)
+		want, err := s.Refine(context.Background(), kind, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
-		token, err := s.RefineAsync(kind, 10)
+		token, err := s.RefineAsync(context.Background(), kind, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,10 +98,10 @@ func TestRefineAsyncValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.RefineAsync(SchemeKind("bogus"), 5); err == nil {
+	if _, err := s.RefineAsync(context.Background(), SchemeKind("bogus"), 5); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if _, err := s.RefineAsync(SchemeLRFCSVM, 5); err == nil {
+	if _, err := s.RefineAsync(context.Background(), SchemeLRFCSVM, 5); err == nil {
 		t.Error("judgment-less SVM round accepted")
 	}
 	if _, ok := s.RefineStatus(99); ok {
@@ -110,7 +111,7 @@ func TestRefineAsyncValidation(t *testing.T) {
 		t.Error("latest round before any submission")
 	}
 	// The judgment-free Euclidean round is allowed, like the sync path.
-	token, err := s.RefineAsync(SchemeEuclidean, 5)
+	token, err := s.RefineAsync(context.Background(), SchemeEuclidean, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,14 +135,14 @@ func TestRefineAsyncAdmissionCap(t *testing.T) {
 	// guards) so the rejection is deterministic regardless of how fast the
 	// worker pool drains real rounds.
 	e.pendingRefines.Add(3)
-	if _, err := s.RefineAsync(SchemeEuclidean, 5); !errors.Is(err, ErrTooManyRefines) {
+	if _, err := s.RefineAsync(context.Background(), SchemeEuclidean, 5); !errors.Is(err, ErrTooManyRefines) {
 		t.Fatalf("submission above the cap: %v, want ErrTooManyRefines", err)
 	}
 	if got := e.PendingRefines(); got != 3 {
 		t.Errorf("rejected submission leaked into the pending count: %d", got)
 	}
 	e.pendingRefines.Add(-3)
-	token, err := s.RefineAsync(SchemeEuclidean, 5)
+	token, err := s.RefineAsync(context.Background(), SchemeEuclidean, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestRefineAsyncLatestMonotonic(t *testing.T) {
 	s := judgedSession(t, e, 3, labels)
 	last := 0
 	for i := 0; i < 5; i++ {
-		token, err := s.RefineAsync(SchemeRFSVM, 6)
+		token, err := s.RefineAsync(context.Background(), SchemeRFSVM, 6)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +216,7 @@ func TestRefineAsyncRoundRetention(t *testing.T) {
 	s := judgedSession(t, e, 4, labels)
 	total := maxRetainedRounds + 8
 	for i := 0; i < total; i++ {
-		token, err := s.RefineAsync(SchemeEuclidean, 4)
+		token, err := s.RefineAsync(context.Background(), SchemeEuclidean, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -265,7 +266,7 @@ func TestConcurrentAsyncRefine(t *testing.T) {
 			defer wg.Done()
 			rng := linalg.NewRNG(seed)
 			for i := 0; i < 5; i++ {
-				if _, err := e.AddImages(randomDescriptors(rng, 1+rng.Intn(3))); err != nil {
+				if _, err := e.AddImages(context.Background(), randomDescriptors(rng, 1+rng.Intn(3))); err != nil {
 					report(fmt.Errorf("ingest: %w", err))
 					return
 				}
@@ -280,7 +281,7 @@ func TestConcurrentAsyncRefine(t *testing.T) {
 			defer wg.Done()
 			rng := linalg.NewRNG(seed)
 			for i := 0; i < 10; i++ {
-				if _, err := e.InitialQuery(rng.Intn(e.NumImages()), 8); err != nil {
+				if _, err := e.InitialQuery(context.Background(), rng.Intn(e.NumImages()), 8); err != nil {
 					report(fmt.Errorf("query: %w", err))
 					return
 				}
@@ -304,7 +305,7 @@ func TestConcurrentAsyncRefine(t *testing.T) {
 					report(fmt.Errorf("start: %w", err))
 					return
 				}
-				initial, err := e.InitialQuery(q, 6)
+				initial, err := e.InitialQuery(context.Background(), q, 6)
 				if err != nil {
 					report(fmt.Errorf("initial: %w", err))
 					return
@@ -317,7 +318,7 @@ func TestConcurrentAsyncRefine(t *testing.T) {
 				}
 				var tokens []int
 				for r := 0; r < 3; r++ {
-					token, err := s.RefineAsync(schemes[(worker+i+r)%len(schemes)], 6)
+					token, err := s.RefineAsync(context.Background(), schemes[(worker+i+r)%len(schemes)], 6)
 					if err != nil {
 						report(fmt.Errorf("submit: %w", err))
 						return
@@ -325,7 +326,7 @@ func TestConcurrentAsyncRefine(t *testing.T) {
 					tokens = append(tokens, token)
 					s.LatestRefined() // lock-free read racing the trainers
 				}
-				if _, err := s.Refine(schemes[worker%len(schemes)], 6); err != nil {
+				if _, err := s.Refine(context.Background(), schemes[worker%len(schemes)], 6); err != nil {
 					report(fmt.Errorf("sync refine: %w", err))
 					return
 				}
@@ -340,7 +341,7 @@ func TestConcurrentAsyncRefine(t *testing.T) {
 						return
 					}
 				}
-				if err := s.Commit(); err != nil {
+				if err := s.Commit(context.Background()); err != nil {
 					report(fmt.Errorf("commit: %w", err))
 					return
 				}
@@ -383,7 +384,7 @@ func TestSessionPendingRefines(t *testing.T) {
 	}
 	// Occupy the single training slot: submitted rounds stay pending.
 	e.trainSem <- struct{}{}
-	token, err := s.RefineAsync(SchemeEuclidean, 5)
+	token, err := s.RefineAsync(context.Background(), SchemeEuclidean, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -30,10 +31,10 @@ func TestAddImagesValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.AddImages(nil); err == nil {
+	if _, err := e.AddImages(context.Background(), nil); err == nil {
 		t.Error("empty ingestion accepted")
 	}
-	if _, err := e.AddImages([]linalg.Vector{{1, 2}}); err == nil {
+	if _, err := e.AddImages(context.Background(), []linalg.Vector{{1, 2}}); err == nil {
 		t.Error("mismatched descriptor dimension accepted")
 	}
 	if e.NumImages() != len(visual) {
@@ -49,7 +50,7 @@ func TestAddImagesExtendsCollection(t *testing.T) {
 	}
 	rng := linalg.NewRNG(11)
 	added := randomDescriptors(rng, 3)
-	first, err := e.AddImages(added)
+	first, err := e.AddImages(context.Background(), added)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestAddImagesExtendsCollection(t *testing.T) {
 		t.Errorf("collection size = %d, want %d", e.NumImages(), len(visual)+3)
 	}
 	// The new images are queryable and judgeable immediately.
-	results, err := e.InitialQuery(first+2, 5)
+	results, err := e.InitialQuery(context.Background(), first+2, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,15 +75,15 @@ func TestAddImagesExtendsCollection(t *testing.T) {
 	if err := s.Judge(first+1, true); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Refine(SchemeLRFCSVM, 5); err != nil {
+	if _, err := s.Refine(context.Background(), SchemeLRFCSVM, 5); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Commit(); err != nil {
+	if err := s.Commit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// The engine does not write into the caller's descriptor storage.
 	added[0][0] = 1e9
-	if res, err := e.InitialQuery(first, 3); err != nil || res[0].Image != first {
+	if res, err := e.InitialQuery(context.Background(), first, 3); err != nil || res[0].Image != first {
 		t.Errorf("caller mutation reached the engine: %v %v", res, err)
 	}
 }
@@ -101,15 +102,15 @@ func TestGrownEngineMatchesRebuilt(t *testing.T) {
 
 	// Interleave ingestion (restoring the full collection plus extras) with
 	// committed feedback rounds.
-	if _, err := grown.AddImages(visual[40:50]); err != nil {
+	if _, err := grown.AddImages(context.Background(), visual[40:50]); err != nil {
 		t.Fatal(err)
 	}
 	commitRound(t, grown, 5, labels)
-	if _, err := grown.AddImages(visual[50:]); err != nil {
+	if _, err := grown.AddImages(context.Background(), visual[50:]); err != nil {
 		t.Fatal(err)
 	}
 	commitRound(t, grown, 47, labels)
-	if _, err := grown.AddImages(randomDescriptors(rng, 4)); err != nil {
+	if _, err := grown.AddImages(context.Background(), randomDescriptors(rng, 4)); err != nil {
 		t.Fatal(err)
 	}
 	commitRound(t, grown, len(visual)+1, append(append([]int(nil), labels...), 0, 1, 2, 3))
@@ -126,11 +127,11 @@ func TestGrownEngineMatchesRebuilt(t *testing.T) {
 
 	n := grown.NumImages()
 	for _, query := range []int{0, 17, 42, 55, n - 1} {
-		a, err := grown.InitialQuery(query, n)
+		a, err := grown.InitialQuery(context.Background(), query, n)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := rebuilt.InitialQuery(query, n)
+		b, err := rebuilt.InitialQuery(context.Background(), query, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func commitRound(t *testing.T, e *Engine, query int, labels []int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := e.InitialQuery(query, 10)
+	results, err := e.InitialQuery(context.Background(), query, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,10 +196,10 @@ func commitRound(t *testing.T, e *Engine, query int, labels []int) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := s.Refine(SchemeLRFCSVM, 10); err != nil {
+	if _, err := s.Refine(context.Background(), SchemeLRFCSVM, 10); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Commit(); err != nil {
+	if err := s.Commit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -211,7 +212,7 @@ func refineFull(t *testing.T, e *Engine, query int, kind SchemeKind) []Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := e.InitialQuery(query, 8)
+	results, err := e.InitialQuery(context.Background(), query, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func refineFull(t *testing.T, e *Engine, query int, kind SchemeKind) []Result {
 			t.Fatal(err)
 		}
 	}
-	out, err := s.Refine(kind, e.NumImages())
+	out, err := s.Refine(context.Background(), kind, e.NumImages())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestConcurrentIngestionAndQueries(t *testing.T) {
 			defer wg.Done()
 			rng := linalg.NewRNG(seed)
 			for i := 0; i < 6; i++ {
-				if _, err := e.AddImages(randomDescriptors(rng, 1+rng.Intn(3))); err != nil {
+				if _, err := e.AddImages(context.Background(), randomDescriptors(rng, 1+rng.Intn(3))); err != nil {
 					report(fmt.Errorf("ingest: %w", err))
 					return
 				}
@@ -284,7 +285,7 @@ func TestConcurrentIngestionAndQueries(t *testing.T) {
 			rng := linalg.NewRNG(seed)
 			for i := 0; i < 15; i++ {
 				n := e.NumImages()
-				results, err := e.InitialQuery(rng.Intn(n), 10)
+				results, err := e.InitialQuery(context.Background(), rng.Intn(n), 10)
 				if err != nil {
 					report(fmt.Errorf("query: %w", err))
 					return
@@ -312,7 +313,7 @@ func TestConcurrentIngestionAndQueries(t *testing.T) {
 					report(fmt.Errorf("start: %w", err))
 					return
 				}
-				initial, err := e.InitialQuery(q, 8)
+				initial, err := e.InitialQuery(context.Background(), q, 8)
 				if err != nil {
 					report(fmt.Errorf("initial: %w", err))
 					return
@@ -323,11 +324,11 @@ func TestConcurrentIngestionAndQueries(t *testing.T) {
 						return
 					}
 				}
-				if _, err := s.Refine(schemes[(worker+i)%len(schemes)], 8); err != nil {
+				if _, err := s.Refine(context.Background(), schemes[(worker+i)%len(schemes)], 8); err != nil {
 					report(fmt.Errorf("refine: %w", err))
 					return
 				}
-				if err := s.Commit(); err != nil {
+				if err := s.Commit(context.Background()); err != nil {
 					report(fmt.Errorf("commit: %w", err))
 					return
 				}

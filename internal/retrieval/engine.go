@@ -9,10 +9,12 @@
 package retrieval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lrfcsvm/internal/core"
 	"lrfcsvm/internal/feedbacklog"
@@ -62,6 +64,13 @@ type Options struct {
 	// burst of feedback rounds cannot pile up unbounded training work.
 	// <=0 selects 64.
 	MaxPendingRefines int
+	// RefineTimeout bounds the wall-clock duration of one asynchronous
+	// refinement round, measured from the moment a training worker picks it
+	// up (queue wait is governed by MaxPendingRefines, not the timeout). A
+	// round that exceeds it fails with context.DeadlineExceeded and is never
+	// published — readers keep the previous good ranking. Zero means no
+	// limit.
+	RefineTimeout time.Duration
 	// Journal is an optional durability sink (typically *storage.Journal):
 	// every committed feedback session and every ingested image batch is
 	// appended to it before the in-memory state mutates, under the same
@@ -117,6 +126,13 @@ type Engine struct {
 	// running jobs against Options.MaxPendingRefines.
 	trainSem       chan struct{}
 	pendingRefines atomic.Int64
+
+	// baseCtx parents every asynchronous refinement round; Close cancels it
+	// so background training stops promptly at shutdown. closed makes
+	// further RefineAsync submissions fail fast.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	closed     atomic.Bool
 }
 
 // NewEngine builds an engine over a collection of visual descriptors and an
@@ -146,8 +162,22 @@ func NewEngine(visual []linalg.Vector, log *feedbacklog.Log, opts Options) (*Eng
 		opts.CSVM.Coupled.Workers = opts.TrainWorkers
 	}
 	e := &Engine{opts: opts, log: log, trainSem: make(chan struct{}, opts.TrainWorkers)}
+	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
 	e.cur.Store(&epoch{visual: visual, batch: core.NewShardedCollectionBatch(visual, opts.ShardSize)})
 	return e, nil
+}
+
+// Close shuts down the engine's background work: it cancels the base
+// context every asynchronous refinement round runs under — queued rounds
+// fail before training, running rounds stop at the solver's or the scan's
+// next cancellation check — and makes further RefineAsync submissions fail
+// with ErrEngineClosed. Synchronous calls are governed by their own caller
+// contexts and are not interrupted. Close is idempotent.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	e.baseCancel()
 }
 
 // NumImages returns the current collection size.
@@ -182,7 +212,13 @@ func (e *Engine) Log() *feedbacklog.Log {
 // publishes the grown collection as a new epoch: queries already ranking the
 // previous epoch finish undisturbed, and every query started afterwards sees
 // the new images.
-func (e *Engine) AddImages(descriptors []linalg.Vector) (int, error) {
+//
+// Cancellation is honored at admission only: a context already cancelled
+// when the mutation lock is acquired fails the ingestion before anything is
+// journaled, but once the journal append starts the mutation runs to
+// completion — a durable record must never describe a mutation that was
+// abandoned halfway.
+func (e *Engine) AddImages(ctx context.Context, descriptors []linalg.Vector) (int, error) {
 	if len(descriptors) == 0 {
 		return 0, fmt.Errorf("retrieval: no descriptors to add")
 	}
@@ -197,6 +233,11 @@ func (e *Engine) AddImages(descriptors []linalg.Vector) (int, error) {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	// Journal before mutating: if the append fails the collection is
 	// unchanged and the caller sees the error; if it succeeds the mutation
 	// below cannot fail (the descriptors were validated above).
@@ -266,8 +307,8 @@ func (e *Engine) logColumns(ep *epoch) []*sparse.Vector {
 // round. It streams the collection through the sharded batch path with
 // bounded per-shard selection, so no collection-sized score slice is
 // allocated.
-func (e *Engine) InitialQuery(query, k int) ([]Result, error) {
-	return e.initialQuery(e.cur.Load(), query, k)
+func (e *Engine) InitialQuery(ctx context.Context, query, k int) ([]Result, error) {
+	return e.initialQuery(ctx, e.cur.Load(), query, k)
 }
 
 // InitialQueryBatch answers many initial queries against one consistent
@@ -276,7 +317,7 @@ func (e *Engine) InitialQuery(query, k int) ([]Result, error) {
 // scoring pass alone. Results are identical to calling InitialQuery once per
 // probe (against an unchanging collection). Every probe is validated before
 // any is ranked: one bad index fails the whole batch.
-func (e *Engine) InitialQueryBatch(queries []int, k int) ([][]Result, error) {
+func (e *Engine) InitialQueryBatch(ctx context.Context, queries []int, k int) ([][]Result, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("retrieval: empty query batch")
 	}
@@ -288,7 +329,7 @@ func (e *Engine) InitialQueryBatch(queries []int, k int) ([][]Result, error) {
 	}
 	out := make([][]Result, len(queries))
 	for i, q := range queries {
-		results, err := e.initialQuery(ep, q, k)
+		results, err := e.initialQuery(ctx, ep, q, k)
 		if err != nil {
 			return nil, err
 		}
@@ -298,7 +339,7 @@ func (e *Engine) InitialQueryBatch(queries []int, k int) ([][]Result, error) {
 }
 
 // initialQuery ranks one Euclidean probe against a pinned epoch.
-func (e *Engine) initialQuery(ep *epoch, query, k int) ([]Result, error) {
+func (e *Engine) initialQuery(stdctx context.Context, ep *epoch, query, k int) ([]Result, error) {
 	if query < 0 || query >= len(ep.visual) {
 		return nil, fmt.Errorf("retrieval: query image %d out of range [0,%d)", query, len(ep.visual))
 	}
@@ -307,6 +348,7 @@ func (e *Engine) initialQuery(ep *epoch, query, k int) ([]Result, error) {
 		Query:   query,
 		Workers: e.opts.Workers,
 		Batch:   ep.batch,
+		Ctx:     stdctx,
 	}
 	ranked, err := core.Euclidean{}.RankTop(ctx, k)
 	if err != nil {
@@ -374,8 +416,11 @@ func (s *Session) NumJudgments() int {
 // judgments (and, for the log-based schemes, the engine's accumulated
 // feedback log) and returns the top-k results. Each refinement ranks the
 // collection epoch current at call time, so results reflect images ingested
-// since the session started.
-func (s *Session) Refine(kind SchemeKind, k int) ([]Result, error) {
+// since the session started. The context's cancellation is honored
+// throughout: the sharded scan checks it between shard ranges and the SMO
+// solver between iterations, so a cancelled or deadline-expired refinement
+// returns the context's error instead of finishing the round.
+func (s *Session) Refine(stdctx context.Context, kind SchemeKind, k int) ([]Result, error) {
 	s.mu.Lock()
 	labeled := make([]core.LabeledExample, 0, len(s.judgments))
 	for img, rel := range s.judgments {
@@ -407,6 +452,7 @@ func (s *Session) Refine(kind SchemeKind, k int) ([]Result, error) {
 		Labeled:    labeled,
 		Workers:    s.engine.opts.Workers,
 		Batch:      ep.batch,
+		Ctx:        stdctx,
 	}
 	scheme, err := s.engine.scheme(kind)
 	if err != nil {
@@ -421,8 +467,10 @@ func (s *Session) Refine(kind SchemeKind, k int) ([]Result, error) {
 
 // Commit appends the session's judgments to the engine's long-term feedback
 // log as one log session. A session can only be committed once and must
-// contain at least one judgment.
-func (s *Session) Commit() error {
+// contain at least one judgment. Like AddImages, cancellation is honored at
+// admission only: once the journal append starts the commit runs to
+// completion, so the durable record and the in-memory log cannot diverge.
+func (s *Session) Commit(ctx context.Context) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.committed {
@@ -443,6 +491,11 @@ func (s *Session) Commit() error {
 	session := feedbacklog.Session{QueryImage: s.query, Judgments: judgments}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	// Journal before mutating the log. The judgments were validated image
 	// by image in Judge and the query in StartSession, and the collection
 	// only grows, so once the journal append succeeds AddSession cannot

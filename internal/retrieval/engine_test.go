@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -55,7 +56,7 @@ func TestInitialQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := e.InitialQuery(0, 10)
+	results, err := e.InitialQuery(context.Background(), 0, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestInitialQuery(t *testing.T) {
 	if same < 7 {
 		t.Errorf("only %d/10 initial results share the query category", same)
 	}
-	if _, err := e.InitialQuery(-1, 5); err == nil {
+	if _, err := e.InitialQuery(context.Background(), -1, 5); err == nil {
 		t.Error("negative query accepted")
 	}
 }
@@ -99,7 +100,7 @@ func TestSessionLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	initial, err := e.InitialQuery(2, 12)
+	initial, err := e.InitialQuery(context.Background(), 2, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 
 	for _, kind := range []SchemeKind{SchemeEuclidean, SchemeRFSVM, SchemeLRF2SVMs, SchemeLRFCSVM} {
-		results, err := session.Refine(kind, 15)
+		results, err := session.Refine(context.Background(), kind, 15)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)
 		}
@@ -122,13 +123,13 @@ func TestSessionLifecycle(t *testing.T) {
 		}
 	}
 
-	if err := session.Commit(); err != nil {
+	if err := session.Commit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if e.NumLogSessions() != before+1 {
 		t.Errorf("log sessions %d, want %d", e.NumLogSessions(), before+1)
 	}
-	if err := session.Commit(); err == nil {
+	if err := session.Commit(context.Background()); err == nil {
 		t.Error("double commit accepted")
 	}
 	if err := session.Judge(0, true); err == nil {
@@ -140,11 +141,11 @@ func TestRefineRequiresJudgments(t *testing.T) {
 	visual, _, log := testCollection(t)
 	e, _ := NewEngine(visual, log, Options{})
 	s, _ := e.StartSession(0)
-	if _, err := s.Refine(SchemeRFSVM, 5); err == nil {
+	if _, err := s.Refine(context.Background(), SchemeRFSVM, 5); err == nil {
 		t.Error("RF-SVM without judgments accepted")
 	}
 	// Euclidean works without judgments.
-	if _, err := s.Refine(SchemeEuclidean, 5); err != nil {
+	if _, err := s.Refine(context.Background(), SchemeEuclidean, 5); err != nil {
 		t.Errorf("Euclidean without judgments failed: %v", err)
 	}
 }
@@ -153,7 +154,7 @@ func TestCommitEmptySessionRejected(t *testing.T) {
 	visual, _, log := testCollection(t)
 	e, _ := NewEngine(visual, log, Options{})
 	s, _ := e.StartSession(0)
-	if err := s.Commit(); err == nil {
+	if err := s.Commit(context.Background()); err == nil {
 		t.Error("empty commit accepted")
 	}
 }
@@ -175,7 +176,7 @@ func TestCommittedFeedbackInfluencesLogVectors(t *testing.T) {
 	if err := s.Judge(40, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Commit(); err != nil {
+	if err := s.Commit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	cols := e.logColumns(e.cur.Load())
@@ -227,7 +228,7 @@ func TestConcurrentSessions(t *testing.T) {
 				errs <- err
 				return
 			}
-			initial, err := e.InitialQuery(q, 8)
+			initial, err := e.InitialQuery(context.Background(), q, 8)
 			if err != nil {
 				errs <- err
 				return
@@ -238,11 +239,11 @@ func TestConcurrentSessions(t *testing.T) {
 					return
 				}
 			}
-			if _, err := s.Refine(SchemeLRF2SVMs, 10); err != nil {
+			if _, err := s.Refine(context.Background(), SchemeLRF2SVMs, 10); err != nil {
 				errs <- err
 				return
 			}
-			errs <- s.Commit()
+			errs <- s.Commit(context.Background())
 		}(q)
 	}
 	wg.Wait()

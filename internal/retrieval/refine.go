@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -10,6 +11,10 @@ import (
 // can match it with errors.Is to distinguish backpressure — worth retrying
 // later — from request errors that will never succeed.
 var ErrTooManyRefines = errors.New("retrieval: too many pending refinements")
+
+// ErrEngineClosed is returned by Session.RefineAsync after Engine.Close:
+// the training pool is shutting down and accepts no new rounds.
+var ErrEngineClosed = errors.New("retrieval: engine closed")
 
 // RefineState is the lifecycle state of one asynchronous refinement round.
 type RefineState string
@@ -58,10 +63,24 @@ type refineRound struct {
 // RefineAsync fails fast when the engine-wide pending cap
 // (Options.MaxPendingRefines) is reached, so a burst of feedback traffic
 // degrades into rejected rounds instead of unbounded queued training work.
-func (s *Session) RefineAsync(kind SchemeKind, k int) (int, error) {
+// The submitted round runs under the engine's base context (cancelled by
+// Engine.Close), bounded by Options.RefineTimeout — not under the caller's
+// context, which typically belongs to the HTTP request that submitted the
+// round and dies as soon as the response is written. The caller's context
+// only gates admission: a submission whose context is already cancelled is
+// rejected without queueing a round.
+func (s *Session) RefineAsync(ctx context.Context, kind SchemeKind, k int) (int, error) {
 	e := s.engine
 	if _, err := e.scheme(kind); err != nil {
 		return 0, err
+	}
+	if e.closed.Load() {
+		return 0, ErrEngineClosed
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 	}
 	// Same precondition as the synchronous path, checked at submission so
 	// the caller learns about an unusable round before polling it.
@@ -109,17 +128,39 @@ func (s *Session) RefineAsync(kind SchemeKind, k int) (int, error) {
 const maxRetainedRounds = 32
 
 // runRefineRound executes one submitted round on the bounded training pool.
+// It runs under the engine's base context so Engine.Close stops queued and
+// running rounds promptly; Options.RefineTimeout additionally bounds the
+// round from the moment a worker picks it up. A cancelled round lands in
+// RefineFailed and is never published (publishRound only moves RefineDone
+// snapshots), so readers keep the previous good ranking.
 func (s *Session) runRefineRound(round *refineRound, kind SchemeKind, k int) {
 	e := s.engine
 	defer e.pendingRefines.Add(-1)
-	e.trainSem <- struct{}{}
+	select {
+	case e.trainSem <- struct{}{}:
+	case <-e.baseCtx.Done():
+		// Shut down while queued: fail the round without training.
+		s.mu.Lock()
+		round.State = RefineFailed
+		round.Err = e.baseCtx.Err().Error()
+		s.pendingRounds.Add(-1)
+		s.mu.Unlock()
+		return
+	}
 	defer func() { <-e.trainSem }()
+
+	rctx := e.baseCtx
+	if e.opts.RefineTimeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(rctx, e.opts.RefineTimeout)
+		defer cancel()
+	}
 
 	s.mu.Lock()
 	round.State = RefineRunning
 	s.mu.Unlock()
 
-	results, err := s.refineGuarded(kind, k)
+	results, err := s.refineGuarded(rctx, kind, k)
 
 	s.mu.Lock()
 	if err != nil {
@@ -162,13 +203,13 @@ func (s *Session) publishRound(snapshot RefineRound) {
 // failed round. The synchronous HTTP path gets this for free from
 // net/http's per-connection recovery; on the async pool's bare goroutine a
 // panic would otherwise take down the whole process.
-func (s *Session) refineGuarded(kind SchemeKind, k int) (results []Result, err error) {
+func (s *Session) refineGuarded(ctx context.Context, kind SchemeKind, k int) (results []Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			results, err = nil, fmt.Errorf("retrieval: refinement round panicked: %v", r)
 		}
 	}()
-	return s.Refine(kind, k)
+	return s.Refine(ctx, kind, k)
 }
 
 // RefineStatus returns a snapshot of the given round. The second return is

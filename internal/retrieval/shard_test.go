@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -46,7 +47,7 @@ func TestShardBoundaryIngestion(t *testing.T) {
 	}
 	prev := 11
 	for _, step := range steps {
-		if _, err := e.AddImages(visual[prev:step.to]); err != nil {
+		if _, err := e.AddImages(context.Background(), visual[prev:step.to]); err != nil {
 			t.Fatalf("%s: %v", step.name, err)
 		}
 		prev = step.to
@@ -58,11 +59,11 @@ func TestShardBoundaryIngestion(t *testing.T) {
 			t.Fatalf("%s: rebuild: %v", step.name, err)
 		}
 		for _, q := range []int{0, step.to / 2, step.to - 1} {
-			got, err := e.InitialQuery(q, e.NumImages())
+			got, err := e.InitialQuery(context.Background(), q, e.NumImages())
 			if err != nil {
 				t.Fatalf("%s: grown query %d: %v", step.name, q, err)
 			}
-			want, err := rebuilt.InitialQuery(q, rebuilt.NumImages())
+			want, err := rebuilt.InitialQuery(context.Background(), q, rebuilt.NumImages())
 			if err != nil {
 				t.Fatalf("%s: rebuilt query %d: %v", step.name, q, err)
 			}
@@ -85,7 +86,7 @@ func TestShardBoundaryIngestion(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		res, err := s.Refine(SchemeRFSVM, e.NumImages())
+		res, err := s.Refine(context.Background(), SchemeRFSVM, e.NumImages())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func TestInitialQueryBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	queries := []int{0, 17, 42, 17}
-	batch, err := e.InitialQueryBatch(queries, 9)
+	batch, err := e.InitialQueryBatch(context.Background(), queries, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,16 +112,16 @@ func TestInitialQueryBatch(t *testing.T) {
 		t.Fatalf("%d result lists, want %d", len(batch), len(queries))
 	}
 	for i, q := range queries {
-		single, err := e.InitialQuery(q, 9)
+		single, err := e.InitialQuery(context.Background(), q, 9)
 		if err != nil {
 			t.Fatal(err)
 		}
 		rankingsEqual(t, fmt.Sprintf("probe %d", q), batch[i], single)
 	}
-	if _, err := e.InitialQueryBatch(nil, 5); err == nil {
+	if _, err := e.InitialQueryBatch(context.Background(), nil, 5); err == nil {
 		t.Error("empty batch accepted")
 	}
-	if _, err := e.InitialQueryBatch([]int{0, len(visual)}, 5); err == nil {
+	if _, err := e.InitialQueryBatch(context.Background(), []int{0, len(visual)}, 5); err == nil {
 		t.Error("out-of-range probe accepted")
 	}
 }
@@ -135,7 +136,7 @@ func TestShardSizeInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := e.InitialQuery(5, len(visual))
+		got, err := e.InitialQuery(context.Background(), 5, len(visual))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -298,18 +299,20 @@ type fakeSession struct {
 
 func (f *fakeSession) Judge(int, bool) error { return nil }
 func (f *fakeSession) NumJudgments() int     { return 0 }
-func (f *fakeSession) Refine(retrieval.SchemeKind, int) ([]retrieval.Result, error) {
+func (f *fakeSession) Refine(context.Context, retrieval.SchemeKind, int) ([]retrieval.Result, error) {
 	return nil, nil
 }
-func (f *fakeSession) RefineAsync(retrieval.SchemeKind, int) (int, error) { return 0, nil }
+func (f *fakeSession) RefineAsync(context.Context, retrieval.SchemeKind, int) (int, error) {
+	return 0, nil
+}
 func (f *fakeSession) RefineStatus(int) (retrieval.RefineRound, bool) {
 	return retrieval.RefineRound{}, false
 }
 func (f *fakeSession) LatestRefined() (retrieval.RefineRound, bool) {
 	return retrieval.RefineRound{}, false
 }
-func (f *fakeSession) Commit() error       { return nil }
-func (f *fakeSession) PendingRefines() int { return int(f.pending.Load()) }
+func (f *fakeSession) Commit(context.Context) error { return nil }
+func (f *fakeSession) PendingRefines() int          { return int(f.pending.Load()) }
 
 // has reports whether the session table still holds the given ID without
 // touching its last-used stamp (the session accessor would renew the TTL).

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errOverloaded is the load-shedding signal: the request's class is at its
+// in-flight limit and the wait budget (queue cap or queue wait) is
+// exhausted. The admission middleware maps it to 503 + Retry-After —
+// distinct from 429 (ErrTooManyRefines), which is per-resource
+// backpressure on the async training queue rather than whole-server
+// overload.
+var errOverloaded = errors.New("server: overloaded")
+
+// classLimiter is a weighted concurrency limiter for one request class
+// (query, train or ingest). At most cap(slots) requests of the class run at
+// once; up to maxQueue more may wait for a slot, each for at most
+// queueWait, and everything beyond that is shed immediately. A nil slots
+// channel disables limiting (the gauges still count).
+//
+// The wait queue is FIFO in the runtime's channel-receive order; fairness
+// across classes is structural — each class has its own limiter, so a
+// training burst can never starve queries.
+type classLimiter struct {
+	slots     chan struct{}
+	maxQueue  int64
+	queueWait time.Duration
+
+	inFlight atomic.Int64
+	queued   atomic.Int64
+	admitted atomic.Int64
+	shed     atomic.Int64
+}
+
+// newClassLimiter builds a limiter admitting maxInFlight concurrent
+// requests (<=0 disables limiting), queueing up to maxInFlight more for at
+// most queueWait each.
+func newClassLimiter(maxInFlight int, queueWait time.Duration) *classLimiter {
+	l := &classLimiter{queueWait: queueWait}
+	if maxInFlight > 0 {
+		l.slots = make(chan struct{}, maxInFlight)
+		l.maxQueue = int64(maxInFlight)
+	}
+	return l
+}
+
+// acquire admits the request or reports why it cannot run: errOverloaded
+// when the class is saturated past its wait budget (shed — the caller
+// should return 503), or the context's error when the client gave up while
+// queued. On success the returned release must be called exactly once when
+// the request finishes.
+func (l *classLimiter) acquire(ctx context.Context) (release func(), err error) {
+	admit := func() func() {
+		l.inFlight.Add(1)
+		l.admitted.Add(1)
+		return func() {
+			l.inFlight.Add(-1)
+			if l.slots != nil {
+				<-l.slots
+			}
+		}
+	}
+	if l.slots == nil {
+		return admit(), nil
+	}
+	// Fast path: a free slot admits without queueing.
+	select {
+	case l.slots <- struct{}{}:
+		return admit(), nil
+	default:
+	}
+	// Slow path: join the bounded wait queue. Count in before checking the
+	// bound so concurrent arrivals cannot both squeeze under it.
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.shed.Add(1)
+		return nil, errOverloaded
+	}
+	defer l.queued.Add(-1)
+	timer := time.NewTimer(l.queueWait)
+	defer timer.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return admit(), nil
+	case <-timer.C:
+		l.shed.Add(1)
+		return nil, errOverloaded
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// status snapshots the limiter's gauges and counters.
+func (l *classLimiter) status() AdmissionClassStatus {
+	return AdmissionClassStatus{
+		MaxInFlight: cap(l.slots),
+		InFlight:    l.inFlight.Load(),
+		Queued:      l.queued.Load(),
+		Admitted:    l.admitted.Load(),
+		Shed:        l.shed.Load(),
+	}
+}
+
+// AdmissionClassStatus is one request class's admission gauges in
+// GET /api/status: current in-flight and queued requests, the configured
+// ceiling (0 = unlimited), and cumulative admitted/shed counts since
+// process start.
+type AdmissionClassStatus struct {
+	MaxInFlight int   `json:"max_in_flight"`
+	InFlight    int64 `json:"in_flight"`
+	Queued      int64 `json:"queued"`
+	Admitted    int64 `json:"admitted"`
+	Shed        int64 `json:"shed"`
+}
+
+// AdmissionStatus is the admission-control section of GET /api/status,
+// one entry per request class.
+type AdmissionStatus struct {
+	Query  AdmissionClassStatus `json:"query"`
+	Train  AdmissionClassStatus `json:"train"`
+	Ingest AdmissionClassStatus `json:"ingest"`
+}

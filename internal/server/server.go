@@ -41,9 +41,41 @@
 // after an idle TTL (default 30 minutes) and capped at a maximum live count
 // (default 16384, least-recently-used first), so abandoned sessions cannot
 // accumulate without bound. Close shuts the server down gracefully.
+//
+// # Resilience
+//
+// Every request runs under its caller's context: a disconnected client
+// cancels its sharded collection scan and its SMO training mid-flight, so
+// abandoned requests free their workers instead of burning a full round.
+// Per-endpoint deadlines come from Config.QueryTimeout (GET /api/query,
+// POST /api/query/batch), Config.TrainTimeout (synchronous refinement) and
+// Config.IngestTimeout (ingestion and commit); a deadline that expires
+// mid-request returns 504 Gateway Timeout, and a client that disconnects
+// first gets the non-standard 499 (client closed request, never seen by the
+// client — it exists for the access log). Zero timeouts (the default)
+// disable the per-endpoint deadline; the request still honors the client's
+// own cancellation.
+//
+// Admission control is per class: queries, training rounds and ingestion
+// each have their own concurrency limiter (Config.MaxInflightQuery/Train/
+// Ingest; 0 = unlimited) with a bounded wait queue. A request arriving when
+// its class is saturated waits up to Config.QueueWait for a slot and is
+// then shed with 503 Service Unavailable + a Retry-After header — requests
+// already in flight complete normally. 503 therefore means "the whole class
+// is overloaded, retry after backing off", while 429 Too Many Requests
+// (asynchronous refinement only) means "the training queue is full, poll an
+// earlier round or retry later". Clients should treat both as retryable
+// with exponential backoff, honoring Retry-After, and treat 4xx request
+// errors as permanent. Per-class in-flight gauges, queue depths and shed
+// counters are exposed under "admission" in GET /api/status.
+//
+// All JSON POST bodies are size-capped (1 MiB, except /api/images whose cap
+// scales with the configured ingest batch limit); an oversized body returns
+// 413 Request Entity Too Large.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -87,6 +119,33 @@ type Config struct {
 	// includes them. cbirserver wires it when -journal is given.
 	Durability func() DurabilityStatus
 
+	// QueryTimeout bounds one query request (GET /api/query,
+	// POST /api/query/batch — the whole batch, not each probe); an expired
+	// deadline aborts the scan between shard ranges and returns 504.
+	// <=0 disables the deadline (client cancellation is still honored).
+	QueryTimeout time.Duration
+	// TrainTimeout bounds one synchronous refinement request
+	// (POST /api/sessions/refine, POST /api/refine without async): training
+	// and scanning abort at the deadline with 504 and nothing is published.
+	// Asynchronous rounds are bounded engine-side by
+	// retrieval.Options.RefineTimeout instead. <=0 disables the deadline.
+	TrainTimeout time.Duration
+	// IngestTimeout bounds one mutation request (POST /api/images,
+	// POST /api/sessions/commit). Cancellation is honored at admission
+	// only — once the journal append starts the mutation completes — so
+	// this mainly sheds mutations stuck waiting behind a long queue.
+	// <=0 disables the deadline.
+	IngestTimeout time.Duration
+	// MaxInflightQuery/Train/Ingest cap the concurrently running requests
+	// of each class; an equal number more may queue for QueueWait before
+	// being shed with 503 + Retry-After. <=0 means unlimited.
+	MaxInflightQuery  int
+	MaxInflightTrain  int
+	MaxInflightIngest int
+	// QueueWait is how long an over-limit request may wait for a slot
+	// before it is shed; <=0 selects 1 second.
+	QueueWait time.Duration
+
 	// now overrides the clock; package tests use it to drive TTL eviction
 	// deterministically. Nil selects time.Now.
 	now func() time.Time
@@ -100,6 +159,7 @@ const (
 	DefaultMaxK            = 1000
 	DefaultMaxBatchQueries = 256
 	DefaultMaxIngestImages = 4096
+	DefaultQueueWait       = time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -123,6 +183,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxIngestImages <= 0 {
 		c.MaxIngestImages = DefaultMaxIngestImages
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = DefaultQueueWait
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -149,11 +212,11 @@ func (s *Server) clampK(k int) int {
 type feedbackSession interface {
 	Judge(image int, relevant bool) error
 	NumJudgments() int
-	Refine(kind retrieval.SchemeKind, k int) ([]retrieval.Result, error)
-	RefineAsync(kind retrieval.SchemeKind, k int) (int, error)
+	Refine(ctx context.Context, kind retrieval.SchemeKind, k int) ([]retrieval.Result, error)
+	RefineAsync(ctx context.Context, kind retrieval.SchemeKind, k int) (int, error)
 	RefineStatus(token int) (retrieval.RefineRound, bool)
 	LatestRefined() (retrieval.RefineRound, bool)
-	Commit() error
+	Commit(ctx context.Context) error
 	PendingRefines() int
 }
 
@@ -179,6 +242,12 @@ type Server struct {
 	nextID   int
 	sessions map[int]*sessionEntry
 
+	// Per-class admission limiters; see the package comment's resilience
+	// section for the shedding semantics.
+	limQuery  *classLimiter
+	limTrain  *classLimiter
+	limIngest *classLimiter
+
 	closed    atomic.Bool
 	stop      chan struct{}
 	done      chan struct{}
@@ -196,13 +265,16 @@ func New(engine *retrieval.Engine) *Server {
 func NewWithConfig(engine *retrieval.Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		engine:   engine,
-		cfg:      cfg,
-		now:      cfg.now,
-		nextID:   1,
-		sessions: make(map[int]*sessionEntry),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		engine:    engine,
+		cfg:       cfg,
+		now:       cfg.now,
+		nextID:    1,
+		sessions:  make(map[int]*sessionEntry),
+		limQuery:  newClassLimiter(cfg.MaxInflightQuery, cfg.QueueWait),
+		limTrain:  newClassLimiter(cfg.MaxInflightTrain, cfg.QueueWait),
+		limIngest: newClassLimiter(cfg.MaxInflightIngest, cfg.QueueWait),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	go s.sweeper()
 	return s
@@ -254,6 +326,12 @@ func (s *Server) sweeper() {
 // The background sweeper calls Sweep periodically; it is exported so
 // operators (and tests) can force a pass.
 func (s *Server) Sweep() int {
+	// A tick that raced Close may reach here after shutdown began; Close
+	// clears the whole table anyway, so don't start a pass it would only
+	// wait on.
+	if s.closed.Load() {
+		return 0
+	}
 	cutoff := s.now().Add(-s.cfg.SessionTTL).UnixNano()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -345,19 +423,22 @@ func (s *Server) numSessions() int {
 	return len(s.sessions)
 }
 
-// Handler returns the HTTP handler with all API routes mounted.
+// Handler returns the HTTP handler with all API routes mounted. The heavy
+// endpoints pass through their class's admission limiter; the cheap
+// bookkeeping endpoints (status, session start/judge, round polling) are
+// never queued or shed.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/status", s.guard(s.handleStatus))
-	mux.HandleFunc("/api/query", s.guard(s.handleQuery))
-	mux.HandleFunc("/api/query/batch", s.guard(s.handleQueryBatch))
-	mux.HandleFunc("/api/images", s.guard(s.handleAddImages))
+	mux.HandleFunc("/api/query", s.guard(s.admit(s.limQuery, s.handleQuery)))
+	mux.HandleFunc("/api/query/batch", s.guard(s.admit(s.limQuery, s.handleQueryBatch)))
+	mux.HandleFunc("/api/images", s.guard(s.admit(s.limIngest, s.handleAddImages)))
 	mux.HandleFunc("/api/sessions", s.guard(s.handleStartSession))
 	mux.HandleFunc("/api/sessions/judge", s.guard(s.handleJudge))
-	mux.HandleFunc("/api/sessions/refine", s.guard(s.handleRefine))
-	mux.HandleFunc("/api/refine", s.guard(s.handleRefine))
+	mux.HandleFunc("/api/sessions/refine", s.guard(s.admit(s.limTrain, s.handleRefine)))
+	mux.HandleFunc("/api/refine", s.guard(s.admit(s.limTrain, s.handleRefine)))
 	mux.HandleFunc("/api/refine/status", s.guard(s.handleRefineStatus))
-	mux.HandleFunc("/api/sessions/commit", s.guard(s.handleCommit))
+	mux.HandleFunc("/api/sessions/commit", s.guard(s.admit(s.limIngest, s.handleCommit)))
 	return mux
 }
 
@@ -370,6 +451,84 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 		}
 		h(w, r)
 	}
+}
+
+// admit passes the request through its class limiter: shed requests get
+// 503 with a Retry-After hint sized to the wait budget, clients that give
+// up while queued get 499.
+func (s *Server) admit(lim *classLimiter, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := lim.acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, errOverloaded) {
+				retry := int64(s.cfg.QueueWait / time.Second)
+				if retry < 1 {
+					retry = 1
+				}
+				w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+				writeError(w, http.StatusServiceUnavailable, "overloaded: class concurrency limit reached, retry later")
+				return
+			}
+			writeError(w, statusClientClosedRequest, "client closed request while queued")
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// statusClientClosedRequest is the non-standard nginx code for a client
+// that disconnected before the response; no client sees it, but it keeps
+// cancelled requests distinguishable in access logs and tests.
+const statusClientClosedRequest = 499
+
+// requestCtx derives the handler's working context: the client's own
+// context (cancelled on disconnect), bounded by the per-class timeout when
+// one is configured. With a zero timeout the request context is passed
+// through unwrapped.
+func (s *Server) requestCtx(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(r.Context(), timeout)
+	}
+	return r.Context(), func() {}
+}
+
+// statusForError maps an engine error to an HTTP status: cancellation from
+// a disconnected client is 499, an expired per-endpoint deadline is 504,
+// and anything else is a plain request error.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// maxJSONBody caps the small JSON POST bodies (session start, judgments,
+// refinement, batch queries, commit) at 1 MiB — orders of magnitude above
+// any legitimate payload under the configured batch limits, and small
+// enough that a hostile client cannot buffer gigabytes into the decoder.
+// /api/images sizes its own cap from MaxIngestImages instead.
+const maxJSONBody = 1 << 20
+
+// decodeJSON bounds the request body and decodes it into v, writing the
+// error response (413 for an oversized body, 400 otherwise) itself. The
+// caller must stop handling the request when it returns false.
+func decodeJSON(w http.ResponseWriter, r *http.Request, limit int64, v interface{}) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
 }
 
 type errorResponse struct {
@@ -420,6 +579,10 @@ type StatusResponse struct {
 	Shards         int `json:"shards"`
 	LogSessions    int `json:"log_sessions"`
 	ActiveSessions int `json:"active_sessions"`
+	// Admission reports the per-class concurrency limiters: in-flight and
+	// queued requests, configured ceilings, and cumulative admitted/shed
+	// counts.
+	Admission AdmissionStatus `json:"admission"`
 	// Durability is present when the server runs with a journal attached
 	// (Config.Durability).
 	Durability *DurabilityStatus `json:"durability,omitempty"`
@@ -436,6 +599,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Shards:         s.engine.NumShards(),
 		LogSessions:    s.engine.NumLogSessions(),
 		ActiveSessions: s.numSessions(),
+		Admission: AdmissionStatus{
+			Query:  s.limQuery.status(),
+			Train:  s.limTrain.status(),
+			Ingest: s.limIngest.status(),
+		},
 	}
 	if s.cfg.Durability != nil {
 		d := s.cfg.Durability()
@@ -483,9 +651,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	k = s.clampK(k)
-	results, err := s.engine.InitialQuery(image, k)
+	ctx, cancel := s.requestCtx(r, s.cfg.QueryTimeout)
+	defer cancel()
+	results, err := s.engine.InitialQuery(ctx, image, k)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, statusForError(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{Query: image, K: k, Results: toResultJSON(results)})
@@ -513,8 +683,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req QueryBatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+	if !decodeJSON(w, r, maxJSONBody, &req) {
 		return
 	}
 	if len(req.Images) == 0 {
@@ -530,9 +699,11 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k := s.clampK(req.K)
-	lists, err := s.engine.InitialQueryBatch(req.Images, k)
+	ctx, cancel := s.requestCtx(r, s.cfg.QueryTimeout)
+	defer cancel()
+	lists, err := s.engine.InitialQueryBatch(ctx, req.Images, k)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, statusForError(err), "%v", err)
 		return
 	}
 	resp := QueryBatchResponse{K: k, Queries: make([]QueryResponse, len(lists))}
@@ -568,10 +739,8 @@ func (s *Server) handleAddImages(w http.ResponseWriter, r *http.Request) {
 	// encodes in well under 32 bytes of JSON, so this admits any legitimate
 	// batch up to MaxIngestImages while refusing multi-gigabyte bodies.
 	dim := s.engine.Dim()
-	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxIngestImages)*int64(dim+1)*32)
 	var req AddImagesRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+	if !decodeJSON(w, r, int64(s.cfg.MaxIngestImages)*int64(dim+1)*32, &req) {
 		return
 	}
 	if len(req.Images) == 0 {
@@ -586,9 +755,11 @@ func (s *Server) handleAddImages(w http.ResponseWriter, r *http.Request) {
 	for i, d := range req.Images {
 		descriptors[i] = linalg.Vector(d)
 	}
-	first, err := s.engine.AddImages(descriptors)
+	ctx, cancel := s.requestCtx(r, s.cfg.IngestTimeout)
+	defer cancel()
+	first, err := s.engine.AddImages(ctx, descriptors)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, statusForError(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, AddImagesResponse{
@@ -614,8 +785,7 @@ func (s *Server) handleStartSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req StartSessionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+	if !decodeJSON(w, r, maxJSONBody, &req) {
 		return
 	}
 	session, err := s.engine.StartSession(req.Query)
@@ -646,8 +816,7 @@ func (s *Server) handleJudge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req JudgeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+	if !decodeJSON(w, r, maxJSONBody, &req) {
 		return
 	}
 	session, ok := s.session(req.SessionID)
@@ -697,8 +866,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RefineRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+	if !decodeJSON(w, r, maxJSONBody, &req) {
 		return
 	}
 	if raw := r.URL.Query().Get("async"); raw != "" {
@@ -724,13 +892,17 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Async {
-		token, err := session.RefineAsync(kind, req.K)
+		token, err := session.RefineAsync(r.Context(), kind, req.K)
 		if err != nil {
-			// Backpressure is retryable (429); everything else is a
-			// request error that retrying cannot fix.
-			status := http.StatusBadRequest
-			if errors.Is(err, retrieval.ErrTooManyRefines) {
+			// Backpressure is retryable (429, or 503 when the engine is
+			// shutting down); everything else is a request error that
+			// retrying cannot fix.
+			status := statusForError(err)
+			switch {
+			case errors.Is(err, retrieval.ErrTooManyRefines):
 				status = http.StatusTooManyRequests
+			case errors.Is(err, retrieval.ErrEngineClosed):
+				status = http.StatusServiceUnavailable
 			}
 			writeError(w, status, "%v", err)
 			return
@@ -744,9 +916,11 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	results, err := session.Refine(kind, req.K)
+	ctx, cancel := s.requestCtx(r, s.cfg.TrainTimeout)
+	defer cancel()
+	results, err := session.Refine(ctx, kind, req.K)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, statusForError(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RefineResponse{Scheme: string(kind), Results: toResultJSON(results)})
@@ -825,8 +999,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req CommitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+	if !decodeJSON(w, r, maxJSONBody, &req) {
 		return
 	}
 	session, ok := s.session(req.SessionID)
@@ -834,8 +1007,10 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown or expired session %d", req.SessionID)
 		return
 	}
-	if err := session.Commit(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	ctx, cancel := s.requestCtx(r, s.cfg.IngestTimeout)
+	defer cancel()
+	if err := session.Commit(ctx); err != nil {
+		writeError(w, statusForError(err), "%v", err)
 		return
 	}
 	s.dropSession(req.SessionID)

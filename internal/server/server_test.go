@@ -19,6 +19,11 @@ func testServer(t *testing.T) (*httptest.Server, []int) {
 }
 
 func testServerWithConfig(t *testing.T, cfg Config) (*httptest.Server, []int, *retrieval.Engine) {
+	srv, labels, engine, _ := testServerFull(t, cfg)
+	return srv, labels, engine
+}
+
+func testServerFull(t *testing.T, cfg Config) (*httptest.Server, []int, *retrieval.Engine, *Server) {
 	t.Helper()
 	rng := linalg.NewRNG(5)
 	var visual []linalg.Vector
@@ -45,7 +50,7 @@ func testServerWithConfig(t *testing.T, cfg Config) (*httptest.Server, []int, *r
 		srv.Close()
 		s.Close()
 	})
-	return srv, labels, engine
+	return srv, labels, engine, s
 }
 
 func getJSON(t *testing.T, url string, out interface{}) *http.Response {

@@ -11,8 +11,8 @@ import (
 // comparisons can demand bit equality.
 func FuzzVectorOps(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0, 4, 1, 0, 0, 0})                      // set then clear the same index
-	f.Add([]byte{3, 8, 1, 1, 252, 1, 3, 16, 1})          // overwrite an index
+	f.Add([]byte{0, 4, 1, 0, 0, 0})                        // set then clear the same index
+	f.Add([]byte{3, 8, 1, 1, 252, 1, 3, 16, 1})            // overwrite an index
 	f.Add([]byte{23, 1, 1, 0, 1, 1, 11, 128, 1, 11, 0, 0}) // ends, middle, clear
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const dim = 24

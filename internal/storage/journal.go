@@ -159,10 +159,46 @@ type JournalOptions struct {
 	// double-applied. 0 means the base state predates the journal (a fresh
 	// import), so everything replays.
 	SnapshotSeq uint64
+	// RetryAppends is how many additional attempts a failed record write
+	// or fsync gets before the append fails for good. Each retry first
+	// rolls the partial group back out (so the file is exactly its
+	// pre-append state) and waits RetryBackoff, doubling per attempt — a
+	// transient fault (ENOSPC racing a cleanup, a flaky fsync) recovers
+	// with the record durable exactly once, while a persistent fault still
+	// fails the request with the journal rolled back. 0 disables retries.
+	RetryAppends int
+	// RetryBackoff is the wait before the first retry; <=0 selects
+	// DefaultRetryBackoff. Doubled on each subsequent attempt.
+	RetryBackoff time.Duration
+	// WrapFile optionally wraps the journal's backing file handle (and the
+	// staged file of every compaction) before use; the fault-injection
+	// harness uses it to interpose failing writes, torn writes, fsync
+	// errors and latency. Nil uses the plain *os.File.
+	WrapFile func(*os.File) File
 }
 
 // DefaultSyncInterval is the FsyncInterval flush period unless overridden.
 const DefaultSyncInterval = 100 * time.Millisecond
+
+// DefaultRetryBackoff is the first-retry wait of the append retry loop
+// unless JournalOptions.RetryBackoff overrides it.
+const DefaultRetryBackoff = 5 * time.Millisecond
+
+// File is the journal's view of its backing file. *os.File satisfies it;
+// the fault-injection layer (internal/faultinject) wraps one to exercise
+// the journal's failure paths through JournalOptions.WrapFile.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+	Seek(offset int64, whence int) (int64, error)
+	Stat() (os.FileInfo, error)
+	Truncate(size int64) error
+	Sync() error
+	Name() string
+}
 
 // JournalStats counts what the journal has seen since it was opened.
 type JournalStats struct {
@@ -179,6 +215,9 @@ type JournalStats struct {
 	// errored (background-interval failures would otherwise be invisible).
 	Syncs        int64
 	SyncFailures int64
+	// AppendRetries counts append attempts that were retried after a
+	// transient write or fsync failure (JournalOptions.RetryAppends).
+	AppendRetries int64
 	// Compactions counts CompactTo calls that removed a covered prefix.
 	Compactions int64
 }
@@ -205,7 +244,7 @@ type Journal struct {
 	opts JournalOptions
 
 	mu          sync.Mutex
-	f           *os.File
+	f           File
 	size        int64
 	baseSeq     uint64 // sequence of the file's first data record
 	fileRecords int64  // data records currently in the file
@@ -249,10 +288,14 @@ func OpenJournal(path string, visual []linalg.Vector, fblog *feedbacklog.Log, op
 	if err != nil {
 		return nil, nil, ReplayStats{}, fmt.Errorf("storage: open journal %s: %w", path, err)
 	}
-	j := &Journal{path: path, opts: opts, f: f}
+	var file File = f
+	if opts.WrapFile != nil {
+		file = opts.WrapFile(f)
+	}
+	j := &Journal{path: path, opts: opts, f: file}
 	visual, replay, err := j.replayAndSeal(visual, fblog)
 	if err != nil {
-		f.Close()
+		file.Close()
 		return nil, nil, ReplayStats{}, err
 	}
 	if opts.Fsync == FsyncInterval {
@@ -654,12 +697,25 @@ func (j *Journal) append(payload []byte, count func(*JournalStats)) error {
 // record is assembled into a single buffer and written with one call, so a
 // crash tears at most the final record — exactly what replay truncates
 // away. On a failed write or fsync the whole group is rolled back
-// (truncated out) so the journal never holds records whose caller was told
-// the mutation failed; if even the rollback fails the journal declares
-// itself broken and refuses further appends rather than risk diverging
-// from the in-memory state. Under FsyncAlways the group is synced once,
-// after its last record.
+// (truncated out) and, when JournalOptions.RetryAppends allows, rewritten
+// after a backoff — a transient fault recovers with every record durable
+// exactly once. When retries are exhausted (or disabled) the caller gets
+// the error with the journal rolled back, so it never holds records whose
+// caller was told the mutation failed; if even the rollback fails the
+// journal declares itself broken and refuses further appends rather than
+// risk diverging from the in-memory state. Under FsyncAlways the group is
+// synced once, after its last record.
+//
+// The retry loop sleeps while holding j.mu. That is deliberate: appends
+// must reach the file in the order the engine acknowledged them, and
+// releasing the lock between attempts would let a later mutation's record
+// land first.
 func (j *Journal) appendAll(payloads [][]byte, count func(*JournalStats)) error {
+	// Frame once up front so every retry rewrites byte-identical records.
+	records := make([][]byte, len(payloads))
+	for i, payload := range payloads {
+		records[i] = frameJournalRecord(payload)
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -668,15 +724,44 @@ func (j *Journal) appendAll(payloads [][]byte, count func(*JournalStats)) error 
 	if j.broken != nil {
 		return fmt.Errorf("storage: journal is broken by an earlier failure: %w", j.broken)
 	}
+	backoff := j.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			j.stats.AppendRetries++
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		end, err := j.tryAppendLocked(records)
+		if err == nil {
+			j.size = end
+			j.fileRecords += int64(len(records))
+			j.stats.Bytes = j.size
+			j.stats.Records += int64(len(records))
+			count(&j.stats)
+			return nil
+		}
+		if j.broken != nil || attempt >= j.opts.RetryAppends {
+			return err
+		}
+	}
+}
+
+// tryAppendLocked makes one attempt at writing a framed record group at
+// the tracked end of file, returning the new end offset. Any failure is
+// rolled back (truncated out) before returning, so the file is exactly its
+// pre-append state and the group can be retried wholesale.
+func (j *Journal) tryAppendLocked(records [][]byte) (int64, error) {
 	end := j.size
-	for _, payload := range payloads {
-		rec := frameJournalRecord(payload)
+	for _, rec := range records {
 		// WriteAt pins the record to the tracked end of file, so no other
 		// code path (compaction's prefix walk, replay) can misplace an
 		// append by moving the shared file offset.
 		if _, err := j.f.WriteAt(rec, end); err != nil {
 			j.rollbackLocked(err)
-			return fmt.Errorf("storage: append journal record: %w", err)
+			return 0, fmt.Errorf("storage: append journal record: %w", err)
 		}
 		end += int64(len(rec))
 	}
@@ -685,17 +770,12 @@ func (j *Journal) appendAll(payloads [][]byte, count func(*JournalStats)) error 
 		if err := j.f.Sync(); err != nil {
 			j.stats.SyncFailures++
 			j.rollbackLocked(err)
-			return fmt.Errorf("storage: sync journal: %w", err)
+			return 0, fmt.Errorf("storage: sync journal: %w", err)
 		}
 	} else {
 		j.dirty = true
 	}
-	j.size = end
-	j.fileRecords += int64(len(payloads))
-	j.stats.Bytes = j.size
-	j.stats.Records += int64(len(payloads))
-	count(&j.stats)
-	return nil
+	return end, nil
 }
 
 // zeroToEOF reports whether every byte of the file from off to size is
@@ -871,7 +951,13 @@ func (j *Journal) CompactTo(covered uint64) error {
 		return fmt.Errorf("storage: install compacted journal: %w", err)
 	}
 	old := j.f
-	j.f = tmp
+	// The staged file becomes the live journal; give the fault-injection
+	// wrapper (if any) the same grip on it the original handle had.
+	var installed File = tmp
+	if j.opts.WrapFile != nil {
+		installed = j.opts.WrapFile(tmp)
+	}
+	j.f = installed
 	old.Close()
 	j.baseSeq = covered + 1
 	j.fileRecords -= int64(drop)

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"os/exec"
@@ -227,7 +228,7 @@ func commitOn(t *testing.T, e *retrieval.Engine, from, to int) {
 				t.Fatal(err)
 			}
 		}
-		if err := s.Commit(); err != nil {
+		if err := s.Commit(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -362,7 +363,7 @@ func TestCrashBetweenSnapshotAndCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	commitOn(t, engine, 0, 3)
-	if _, err := engine.AddImages([]linalg.Vector{{9, 9, 9}}); err != nil {
+	if _, err := engine.AddImages(context.Background(), []linalg.Vector{{9, 9, 9}}); err != nil {
 		t.Fatal(err)
 	}
 	// Snapshot pass captures state + covered sequence and installs the
@@ -687,14 +688,14 @@ func TestSnapshotterCompactionLoop(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if err := s.Commit(); err != nil {
+		if err := s.Commit(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 3; i++ {
 		commit(i)
 	}
-	if _, err := engine.AddImages([]linalg.Vector{{0.5, -1, 2}, {3, 0.25, -2}}); err != nil {
+	if _, err := engine.AddImages(context.Background(), []linalg.Vector{{0.5, -1, 2}, {3, 0.25, -2}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := snap.SnapshotNow(); err != nil {
@@ -711,7 +712,7 @@ func TestSnapshotterCompactionLoop(t *testing.T) {
 	for i := 3; i < 6; i++ {
 		commit(i)
 	}
-	if _, err := engine.AddImages([]linalg.Vector{{-1, -1, -1}}); err != nil {
+	if _, err := engine.AddImages(context.Background(), []linalg.Vector{{-1, -1, -1}}); err != nil {
 		t.Fatal(err)
 	}
 	commit(6)
@@ -750,7 +751,7 @@ func assertEnginesBitIdentical(t *testing.T, a, b *retrieval.Engine) {
 	rank := func(e *retrieval.Engine, query int, kind retrieval.SchemeKind) []retrieval.Result {
 		t.Helper()
 		if kind == "" {
-			rs, err := e.InitialQuery(query, n)
+			rs, err := e.InitialQuery(context.Background(), query, n)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -766,7 +767,7 @@ func assertEnginesBitIdentical(t *testing.T, a, b *retrieval.Engine) {
 		if err := s.Judge((query+1)%n, false); err != nil {
 			t.Fatal(err)
 		}
-		rs, err := s.Refine(kind, n)
+		rs, err := s.Refine(context.Background(), kind, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -827,11 +828,11 @@ func TestEngineJournalOrderMatchesLog(t *testing.T) {
 		if err := s.Judge((i+2)%8, i%2 == 0); err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Commit(); err != nil {
+		if err := s.Commit(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		if i == 1 {
-			if _, err := engine.AddImages([]linalg.Vector{{float64(i), 1, 2}}); err != nil {
+			if _, err := engine.AddImages(context.Background(), []linalg.Vector{{float64(i), 1, 2}}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -874,13 +875,13 @@ func TestEngineJournalFailureFailsMutation(t *testing.T) {
 		t.Fatal(err)
 	}
 	sink.fail = true
-	if err := s.Commit(); err == nil {
+	if err := s.Commit(context.Background()); err == nil {
 		t.Fatal("commit succeeded with a failing journal")
 	}
 	if engine.NumLogSessions() != 0 {
 		t.Errorf("failed commit mutated the log: %d sessions", engine.NumLogSessions())
 	}
-	if _, err := engine.AddImages([]linalg.Vector{{1, 2, 3}}); err == nil {
+	if _, err := engine.AddImages(context.Background(), []linalg.Vector{{1, 2, 3}}); err == nil {
 		t.Fatal("ingestion succeeded with a failing journal")
 	}
 	if engine.NumImages() != 8 {
@@ -888,7 +889,7 @@ func TestEngineJournalFailureFailsMutation(t *testing.T) {
 	}
 	// The session is still committable once the journal recovers.
 	sink.fail = false
-	if err := s.Commit(); err != nil {
+	if err := s.Commit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if engine.NumLogSessions() != 1 || sink.sessions != 1 {
@@ -943,7 +944,7 @@ func BenchmarkCommitJournal(b *testing.B) {
 			if err := s.Judge((i+7)%256, false); err != nil {
 				b.Fatal(err)
 			}
-			if err := s.Commit(); err != nil {
+			if err := s.Commit(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -122,7 +123,7 @@ func TestEngineSnapshotPersistenceLoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := engine.AddImages([]linalg.Vector{{4, 4, 4}, {-3, 2, 1}}); err != nil {
+	if _, err := engine.AddImages(context.Background(), []linalg.Vector{{4, 4, 4}, {-3, 2, 1}}); err != nil {
 		t.Fatal(err)
 	}
 	s, err := engine.StartSession(10)
@@ -135,7 +136,7 @@ func TestEngineSnapshotPersistenceLoop(t *testing.T) {
 	if err := s.Judge(2, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Commit(); err != nil {
+	if err := s.Commit(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -157,11 +158,11 @@ func TestEngineSnapshotPersistenceLoop(t *testing.T) {
 			reloaded.NumImages(), reloaded.NumLogSessions(), engine.NumImages(), engine.NumLogSessions())
 	}
 	for _, query := range []int{0, 10, 11} {
-		a, err := engine.InitialQuery(query, engine.NumImages())
+		a, err := engine.InitialQuery(context.Background(), query, engine.NumImages())
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := reloaded.InitialQuery(query, reloaded.NumImages())
+		b, err := reloaded.InitialQuery(context.Background(), query, reloaded.NumImages())
 		if err != nil {
 			t.Fatal(err)
 		}

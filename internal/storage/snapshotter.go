@@ -9,6 +9,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lrfcsvm/internal/feedbacklog"
@@ -82,6 +83,12 @@ type Snapshotter struct {
 	stop      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
+	// stopping is set before Close waits: a background pass that has not
+	// yet started observes it under passMu and declines, so Close never
+	// waits on work that began after shutdown was requested. Explicit
+	// SnapshotNow ignores it — the graceful-shutdown sequence calls Close
+	// first and then takes its final snapshot.
+	stopping atomic.Bool
 }
 
 // NewSnapshotter creates a snapshotter over the journal and starts its
@@ -138,7 +145,7 @@ func (s *Snapshotter) loop() {
 				// Failures are recorded in the stats and retried next poll;
 				// the journal keeps accumulating meanwhile, so no data is
 				// at risk — only replay time grows.
-				_ = s.SnapshotNow()
+				s.backgroundPass()
 			}
 		}
 	}
@@ -172,6 +179,23 @@ func (s *Snapshotter) due() bool {
 func (s *Snapshotter) SnapshotNow() error {
 	s.passMu.Lock()
 	defer s.passMu.Unlock()
+	return s.snapshotLocked()
+}
+
+// backgroundPass is the loop's entry into snapshotLocked. It re-checks the
+// stopping flag under passMu: a tick that raced Close may have reached
+// here already, and starting a pass now would make Close wait out a full
+// snapshot write for no benefit.
+func (s *Snapshotter) backgroundPass() {
+	s.passMu.Lock()
+	defer s.passMu.Unlock()
+	if s.stopping.Load() {
+		return
+	}
+	_ = s.snapshotLocked()
+}
+
+func (s *Snapshotter) snapshotLocked() error {
 	var mark uint64
 	visual, fblog := s.source(func() { mark = s.journal.LastSeq() })
 	err := SaveSnapshotAt(s.cfg.SnapshotPath, visual, fblog, mark)
@@ -198,10 +222,16 @@ func (s *Snapshotter) Stats() SnapshotterStats {
 	return s.stats
 }
 
-// Close stops the background loop. It does not take a final snapshot — the
-// caller decides whether to (cbirserver does on graceful shutdown; after a
-// crash the journal replays instead).
+// Close stops the background loop: no new background pass starts once
+// Close has begun, and Close waits only for a pass already in flight (a
+// bounded wait — one snapshot write, not a queue of them). It does not
+// take a final snapshot — the caller decides whether to (cbirserver calls
+// Close and then SnapshotNow on graceful shutdown; after a crash the
+// journal replays instead).
 func (s *Snapshotter) Close() {
-	s.closeOnce.Do(func() { close(s.stop) })
+	s.closeOnce.Do(func() {
+		s.stopping.Store(true)
+		close(s.stop)
+	})
 	<-s.done
 }

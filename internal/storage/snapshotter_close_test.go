@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/retrieval"
+)
+
+// The graceful-shutdown sequence: Close stops the background loop (and any
+// pass a racing tick would start), yet the explicit final SnapshotNow that
+// follows must still work — cbirserver relies on exactly this order.
+func TestSnapshotterCloseThenFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	visual, fblog := journalBase(8, 3)
+	j, visual, _, err := OpenJournal(filepath.Join(dir, "engine.wal"), visual, fblog, JournalOptions{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	engine, err := retrieval.NewEngine(visual, fblog, retrieval.Options{Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := NewSnapshotter(j, engine.SnapshotWith, SnapshotterConfig{
+		SnapshotPath: filepath.Join(dir, "engine.snap"),
+		Interval:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.AddImages(context.Background(), []linalg.Vector{{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap.Close()
+	snap.Close() // idempotent
+
+	// A background-initiated pass after Close must decline...
+	snap.backgroundPass()
+	if st := snap.Stats(); st.Snapshots != 0 {
+		t.Fatalf("background pass ran after Close: %+v", st)
+	}
+	// ...while the explicit final snapshot still runs and compacts.
+	if err := snap.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	if st := snap.Stats(); st.Snapshots != 1 {
+		t.Fatalf("final snapshot not recorded: %+v", st)
+	}
+	if j.TailBytes() != 0 {
+		t.Fatalf("final snapshot did not compact the journal: %d tail bytes", j.TailBytes())
+	}
+}

@@ -1,0 +1,81 @@
+package svm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"lrfcsvm/internal/kernel"
+	"lrfcsvm/internal/linalg"
+)
+
+// A context cancelled before training starts aborts at entry: no
+// iterations, no model.
+func TestTrainCancelledAtEntry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewProblem(
+		densePoints(linalg.Vector{-2}, linalg.Vector{-1}, linalg.Vector{1}, linalg.Vector{2}),
+		[]float64{-1, -1, 1, 1}, 10)
+	if _, err := Train(p, Config{Kernel: kernel.Linear{}, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Train error = %v, want context.Canceled", err)
+	}
+}
+
+// A context cancelled mid-solve makes Train abandon the run at the next
+// periodic check and return the context error rather than a model trained
+// on an interrupted optimization.
+func TestTrainCancelledMidSolve(t *testing.T) {
+	// A problem large and noisy enough to need well over ctxCheckInterval
+	// SMO iterations, so cancellation lands mid-solve deterministically:
+	// the context cancels itself after a fixed number of Err polls.
+	rng := linalg.NewRNG(5)
+	const n = 400
+	pts := make([]linalg.Vector, n)
+	labels := make([]float64, n)
+	for i := range pts {
+		pts[i] = linalg.Vector{rng.Normal(0, 1), rng.Normal(0, 1)}
+		if pts[i][0]+0.3*rng.Normal(0, 1) > 0 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+	}
+	p := NewProblem(densePoints(pts...), labels, 100)
+
+	ctx := &pollCountdownCtx{Context: context.Background(), remaining: 2}
+	_, err := Train(p, Config{Kernel: kernel.RBF{Gamma: 1}, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Train error = %v, want context.Canceled", err)
+	}
+	// The entry check consumed one poll, so the solver itself observed the
+	// cancellation on its second periodic check — mid-solve, not at entry.
+	if ctx.remaining > -1 {
+		t.Fatalf("solver stopped before polling the context mid-solve (remaining=%d)", ctx.remaining)
+	}
+
+	// An identical run without a context must converge — the problem is
+	// solvable, only the cancellation stopped it.
+	m, err := Train(p, Config{Kernel: kernel.RBF{Gamma: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Converged {
+		t.Error("control run did not converge")
+	}
+}
+
+// pollCountdownCtx cancels after a fixed number of Err calls. Train is
+// single-goroutine, so no synchronization is needed.
+type pollCountdownCtx struct {
+	context.Context
+	remaining int
+}
+
+func (c *pollCountdownCtx) Err() error {
+	c.remaining--
+	if c.remaining < 0 {
+		return context.Canceled
+	}
+	return nil
+}
