@@ -25,6 +25,13 @@
 // hygiene timeouts (10s read-header, 2m read, 2m idle). See the server
 // package documentation for the full resilience semantics.
 //
+// With -ann, initial queries prune the collection through an IVF-style
+// centroid index (-ann-clusters cells, -ann-nprobe probed per query) and
+// re-rank the candidates exactly; images ingested since the last index
+// build are always scanned exactly, and the index is rebuilt in the
+// background as the collection grows. Relevance-feedback refinement always
+// scans exhaustively. Index state appears under "ann" in GET /api/status.
+//
 // Example:
 //
 //	featextract -out features.bin
@@ -73,6 +80,10 @@ func main() {
 		maxQuery     = flag.Int("max-inflight-query", 0, "concurrent query requests admitted; beyond it requests queue briefly and then shed with 503 (0 = unlimited)")
 		maxTrain     = flag.Int("max-inflight-train", 0, "concurrent refine requests admitted (0 = unlimited)")
 		maxIngest    = flag.Int("max-inflight-ingest", 0, "concurrent ingest/commit requests admitted (0 = unlimited)")
+		annEnable    = flag.Bool("ann", false, "prune initial queries with an IVF-style centroid index (exact re-rank; refinement and small collections stay exhaustive)")
+		annClusters  = flag.Int("ann-clusters", 0, "k-means cells of the candidate index (0 = sqrt of the collection size)")
+		annNProbe    = flag.Int("ann-nprobe", 0, "nearest cells scanned per pruned query; higher = better recall, slower (0 = clusters/4)")
+		annMinColl   = flag.Int("ann-min-collection", retrieval.DefaultANNMinCollection, "collection size below which no index is built and queries scan exhaustively")
 	)
 	flag.Parse()
 
@@ -108,7 +119,17 @@ func main() {
 		}
 	}
 
-	opts := retrieval.Options{ShardSize: *shardSize, TrainWorkers: *trainWorkers, RefineTimeout: *trainTimeout}
+	opts := retrieval.Options{
+		ShardSize:     *shardSize,
+		TrainWorkers:  *trainWorkers,
+		RefineTimeout: *trainTimeout,
+		ANN: retrieval.ANNOptions{
+			Enable:        *annEnable,
+			Clusters:      *annClusters,
+			NProbe:        *annNProbe,
+			MinCollection: *annMinColl,
+		},
+	}
 	if journal != nil {
 		opts.Journal = journal
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 
 	"lrfcsvm/internal/core"
 	"lrfcsvm/internal/eval"
+	"lrfcsvm/internal/kernel"
 	"lrfcsvm/internal/linalg"
 )
 
@@ -46,6 +48,221 @@ type benchReport struct {
 		RankingPathAllocRatio float64 `json:"ranking_path_alloc_ratio"`
 		RankingPathSpeedup    float64 `json:"ranking_path_speedup"`
 	} `json:"summary"`
+	// ANN summarizes the candidate-pruning lanes measured on the boosted
+	// (>= annBenchMinImages) collection; the run fails when the headline
+	// recall drops below RecallFloor.
+	ANN *annSummary `json:"ann,omitempty"`
+}
+
+// annBenchMinImages is the collection floor of the ANN lanes: pruning a
+// collection that fits in one or two shards proves nothing, so smaller
+// experiment profiles are boosted to this size with jittered descriptors.
+const annBenchMinImages = 2048
+
+// annRecallFloor is the CI gate on the headline (default probe width)
+// recall@20, recorded alongside the measured numbers in EXPERIMENTS.md. A
+// run measuring less exits non-zero so the bench-query job fails.
+const annRecallFloor = 0.95
+
+// annSummary is the "ann" section of BENCH_query.json.
+type annSummary struct {
+	Images      int       `json:"images"`
+	Clusters    int       `json:"clusters"`
+	NProbe      int       `json:"nprobe"`
+	RecallAt20  float64   `json:"recall_at_20"`
+	Speedup     float64   `json:"speedup_vs_exhaustive"`
+	RecallFloor float64   `json:"recall_floor"`
+	Sweep       []annLane `json:"nprobe_sweep"`
+}
+
+// annLane is one probe-width setting of the recall-vs-latency sweep.
+type annLane struct {
+	NProbe     int     `json:"nprobe"`
+	RecallAt20 float64 `json:"recall_at_20"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Speedup    float64 `json:"speedup_vs_exhaustive"`
+}
+
+// annBoostCollection grows the experiment's descriptors to at least min
+// images by appending jittered copies of real descriptors: the category
+// cluster structure survives (what IVF pruning exploits), the size reaches
+// the regime where pruning matters, and nothing about the image pipeline has
+// to re-run. Deterministic for a fixed seed.
+func annBoostCollection(visual []linalg.Vector, min int, seed uint64) []linalg.Vector {
+	if len(visual) >= min {
+		return visual
+	}
+	rng := linalg.NewRNG(seed)
+	out := make([]linalg.Vector, len(visual), min)
+	copy(out, visual)
+	for len(out) < min {
+		src := visual[len(out)%len(visual)]
+		v := make(linalg.Vector, len(src))
+		for d := range v {
+			v[d] = src[d] + rng.Normal(0, 0.05)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// runANNBench measures the IVF candidate-pruning lanes: the exhaustive
+// streaming scan versus the pruned scan (probe + member gathering + exact
+// re-rank, the full per-query cost) across several probe widths, with
+// recall@20 against the exhaustive oracle for each. The headline lane uses
+// the index's default probe width and must clear annRecallFloor.
+func runANNBench(exp *eval.Experiment, report *benchReport) error {
+	visual := annBoostCollection(exp.Visual, annBenchMinImages, 0xA991)
+	batch := core.NewCollectionBatch(visual)
+	idx, err := kernel.BuildCentroidIndex(context.Background(), batch.VisualSet(), kernel.CentroidConfig{})
+	if err != nil {
+		return fmt.Errorf("ann bench: %w", err)
+	}
+	clusters := idx.NumClusters()
+	defaultNP := clusters / 4
+	if defaultNP < 1 {
+		defaultNP = 1
+	}
+	n := len(visual)
+
+	// Probe images evenly spaced through the collection, so both original
+	// and boosted descriptors are queried.
+	var probes []int
+	for q := 0; q < n; q += n / 32 {
+		probes = append(probes, q)
+	}
+	queryCtx := func(q int) *core.QueryContext {
+		return &core.QueryContext{Visual: visual, Query: q, Workers: 1, Batch: batch}
+	}
+
+	// The exhaustive oracle's top-20 per probe, for recall.
+	oracles := make([][]int, len(probes))
+	for i, q := range probes {
+		ranked, err := core.Euclidean{}.RankTop(queryCtx(q), benchQueryK)
+		if err != nil {
+			return fmt.Errorf("ann bench: oracle: %w", err)
+		}
+		oracles[i] = make([]int, len(ranked))
+		for j, r := range ranked {
+			oracles[i][j] = r.Index
+		}
+	}
+
+	// candidates resolves one pruned query's candidate set, reusing the
+	// cell and list buffers — the same work the engine does per query.
+	cellBuf := make([]int, clusters)
+	listBuf := make([][]int32, clusters)
+	candidates := func(q, nprobe int) core.CandidateSet {
+		cells := idx.ProbeInto(cellBuf, visual[q], nprobe)
+		lists := listBuf[:0]
+		for _, c := range cells {
+			lists = append(lists, idx.Members(c))
+		}
+		return core.CandidateSet{Lists: lists, TailStart: idx.Len()}
+	}
+
+	fmt.Printf("\nann candidate-pruning lanes (%d images, %d clusters, K=%d, Workers=1):\n",
+		n, clusters, benchQueryK)
+	exhaust := measure(report, "ann/euclidean/exhaustive", func(b *testing.B) {
+		ctx := queryCtx(probes[0])
+		buf := make([]core.Ranked, 0, benchQueryK)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx.Query = probes[i%len(probes)]
+			got, err := core.Euclidean{}.RankTopAppend(ctx, benchQueryK, buf[:0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = got
+		}
+	})
+
+	summary := &annSummary{
+		Images:      n,
+		Clusters:    clusters,
+		NProbe:      defaultNP,
+		RecallFloor: annRecallFloor,
+	}
+	for _, np := range annSweepWidths(clusters, defaultNP) {
+		np := np
+		name := fmt.Sprintf("ann/euclidean/stream/nprobe=%d", np)
+		if np == defaultNP {
+			name = "ann/euclidean/stream"
+		}
+		entry := measure(report, name, func(b *testing.B) {
+			ctx := queryCtx(probes[0])
+			buf := make([]core.Ranked, 0, benchQueryK)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := probes[i%len(probes)]
+				ctx.Query = q
+				got, err := core.Euclidean{}.RankTopCandidates(ctx, candidates(q, np), benchQueryK, buf[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf = got
+			}
+		})
+		var recall float64
+		for i, q := range probes {
+			ranked, err := core.Euclidean{}.RankTopCandidates(queryCtx(q), candidates(q, np), benchQueryK, nil)
+			if err != nil {
+				return fmt.Errorf("ann bench: %w", err)
+			}
+			approx := make([]int, len(ranked))
+			for j, r := range ranked {
+				approx[j] = r.Index
+			}
+			recall += eval.RecallAtK(oracles[i], approx, benchQueryK)
+		}
+		recall /= float64(len(probes))
+		lane := annLane{NProbe: np, RecallAt20: recall, NsPerOp: entry.NsPerOp}
+		if entry.NsPerOp > 0 {
+			lane.Speedup = exhaust.NsPerOp / entry.NsPerOp
+		}
+		summary.Sweep = append(summary.Sweep, lane)
+		if np == defaultNP {
+			summary.RecallAt20 = recall
+			summary.Speedup = lane.Speedup
+		}
+		fmt.Printf("    nprobe=%-3d recall@%d %.3f  %.2fx vs exhaustive\n", np, benchQueryK, recall, lane.Speedup)
+	}
+	report.ANN = summary
+
+	if summary.RecallAt20 < annRecallFloor {
+		return fmt.Errorf("ann bench: recall@%d %.3f at nprobe=%d is below the %.2f floor recorded in EXPERIMENTS.md",
+			benchQueryK, summary.RecallAt20, defaultNP, annRecallFloor)
+	}
+	if summary.Speedup <= 1 {
+		fmt.Printf("    warning: pruned path not faster than exhaustive (%.2fx)\n", summary.Speedup)
+	}
+	return nil
+}
+
+// annSweepWidths picks the probe widths of the recall-vs-latency sweep:
+// a few narrow settings, the default, and the everything-probed width whose
+// recall is exactly 1 by construction.
+func annSweepWidths(clusters, defaultNP int) []int {
+	widths := []int{2, defaultNP / 2, defaultNP, 2 * defaultNP, clusters}
+	var out []int
+	for _, w := range widths {
+		if w < 1 || w > clusters {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == w {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 // fullSortSelect replicates the pre-refactor selection: a full stable
@@ -179,6 +396,10 @@ func runQueryBench(exp *eval.Experiment, profile, outPath string) error {
 
 	fmt.Printf("ranking path: %.1fx fewer allocs/op, %.2fx faster (full-argsort vs streaming top-%d)\n",
 		report.Summary.RankingPathAllocRatio, report.Summary.RankingPathSpeedup, benchQueryK)
+
+	if err := runANNBench(exp, report); err != nil {
+		return err
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -153,6 +153,9 @@ func (b *CollectionBatch) logPoints(vs []*sparse.Vector) []kernel.Point {
 type rankScratch struct {
 	lanes [2][]float64
 	sel   topKSelector
+	// view is a reusable DenseSet header for the candidate-restricted lane,
+	// so slicing a run of candidates out of a shard allocates nothing.
+	view *kernel.DenseSet
 }
 
 // lane returns scratch lane i with length n, growing its backing array only

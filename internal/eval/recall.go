@@ -1,0 +1,31 @@
+package eval
+
+// RecallAtK measures candidate-generation quality: the fraction of the
+// exhaustive oracle's top-k images that the approximate ranking also placed
+// in its own top k. 1.0 means pruning lost nothing at this depth; the bench
+// harness records it next to the latency numbers so a recall regression is
+// as visible as a slowdown. Both arguments are ranked image indices, best
+// first; k is clamped to the oracle's length.
+func RecallAtK(oracle, approx []int, k int) float64 {
+	if k > len(oracle) {
+		k = len(oracle)
+	}
+	if k <= 0 {
+		return 1
+	}
+	want := make(map[int]struct{}, k)
+	for _, idx := range oracle[:k] {
+		want[idx] = struct{}{}
+	}
+	limit := k
+	if limit > len(approx) {
+		limit = len(approx)
+	}
+	hits := 0
+	for _, idx := range approx[:limit] {
+		if _, ok := want[idx]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}

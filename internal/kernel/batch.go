@@ -173,6 +173,29 @@ func (s *DenseSet) Slice(lo, hi int) *DenseSet {
 	}
 }
 
+// NewSetView returns an empty DenseSet whose header can be rewritten
+// repeatedly by SliceInto. Candidate-restricted scoring loops keep one view
+// per scratch arena so slicing a shard run costs zero allocations.
+func NewSetView() *DenseSet {
+	return &DenseSet{mat: &linalg.Matrix{}}
+}
+
+// SliceInto writes the sub-set [lo,hi) of the receiver into view (which must
+// come from NewSetView) and returns it. The view shares the receiver's
+// storage exactly like Slice, without allocating: scoring through the view
+// performs the same arithmetic on the same memory as scoring the equivalent
+// Slice.
+func (s *DenseSet) SliceInto(view *DenseSet, lo, hi int) *DenseSet {
+	if lo < 0 || hi < lo || hi > s.Len() {
+		panic(fmt.Sprintf("kernel: DenseSet slice [%d,%d) out of range [0,%d)", lo, hi, s.Len()))
+	}
+	c := s.mat.Cols
+	view.mat.Rows, view.mat.Cols, view.mat.Data = hi-lo, c, s.mat.Data[lo*c:hi*c]
+	view.norms = s.norms[lo:hi]
+	view.pts = s.pts[lo:hi]
+	return view
+}
+
 // Grow returns a new DenseSet holding the receiver's points followed by vs
 // (which are copied). The receiver is left untouched and remains valid for
 // concurrent readers: growing reuses the receiver's storage when the backing

@@ -145,6 +145,61 @@ func TestGrownEngineMatchesRebuilt(t *testing.T) {
 	}
 }
 
+// TestGrownEngineMatchesRebuiltSampledGamma covers the regime the parity
+// test above never reaches: the lazy RBF gamma re-estimate subsamples the
+// collection once it exceeds its sample budget (64 points), and growth that
+// crosses that threshold changes the subsample stride. The estimate must
+// depend only on the point sequence — which is identical between a grown
+// (copy-on-write) collection and one rebuilt from its snapshot — so the
+// kernel-dependent schemes must still rank bit-identically.
+func TestGrownEngineMatchesRebuiltSampledGamma(t *testing.T) {
+	visual, labels, log := testCollection(t)
+	grown, err := NewEngine(visual, log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := linalg.NewRNG(33)
+
+	// Grow from 60 well past the 64-point sampling budget, interleaving
+	// commits so the coupled log columns grow along the way.
+	for batch := 0; batch < 4; batch++ {
+		if _, err := grown.AddImages(context.Background(), randomDescriptors(rng, 28)); err != nil {
+			t.Fatal(err)
+		}
+		commitRound(t, grown, 13*batch+2, labels)
+	}
+	n := grown.NumImages()
+	if n < 160 {
+		t.Fatalf("collection of %d images does not reach the sampled-gamma regime", n)
+	}
+
+	snapVisual, snapLog := grown.Snapshot()
+	rebuilt, err := NewEngine(snapVisual, snapLog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, query := range []int{0, 31, 64, 65, n - 1} {
+		a, err := grown.InitialQuery(context.Background(), query, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rebuilt.InitialQuery(context.Background(), query, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, fmt.Sprintf("initial query %d", query), a, b)
+
+		// SchemeRFSVM and SchemeLRFCSVM train on the estimated visual RBF
+		// kernel, so any gamma divergence shows up as a ranking difference.
+		for _, kind := range []SchemeKind{SchemeRFSVM, SchemeLRFCSVM} {
+			a := refineFull(t, grown, query, kind)
+			b := refineFull(t, rebuilt, query, kind)
+			compareResults(t, fmt.Sprintf("%s query %d", kind, query), a, b)
+		}
+	}
+}
+
 // trimLog rebuilds a simulated log keeping only the sessions whose judgments
 // all fall inside the first n images, re-targeted at a collection of n.
 func trimLog(t *testing.T, log *feedbacklog.Log, n int) *feedbacklog.Log {

@@ -71,6 +71,10 @@ type Options struct {
 	// published — readers keep the previous good ranking. Zero means no
 	// limit.
 	RefineTimeout time.Duration
+	// ANN configures approximate candidate generation for initial queries:
+	// IVF-style centroid pruning with exact re-ranking (see ann.go). The
+	// zero value keeps every query exhaustive.
+	ANN ANNOptions
 	// Journal is an optional durability sink (typically *storage.Journal):
 	// every committed feedback session and every ingested image batch is
 	// appended to it before the in-memory state mutates, under the same
@@ -127,12 +131,20 @@ type Engine struct {
 	trainSem       chan struct{}
 	pendingRefines atomic.Int64
 
-	// baseCtx parents every asynchronous refinement round; Close cancels it
-	// so background training stops promptly at shutdown. closed makes
-	// further RefineAsync submissions fail fast.
+	// baseCtx parents every asynchronous refinement round and every
+	// background ANN index rebuild; Close cancels it so background work
+	// stops promptly at shutdown. closed makes further RefineAsync
+	// submissions fail fast.
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	closed     atomic.Bool
+
+	// ann is the current candidate-generation index generation (nil until
+	// the first build); annBuilding serializes background rebuilds and
+	// annRebuilds counts published builds. See ann.go.
+	ann         atomic.Pointer[annState]
+	annBuilding atomic.Bool
+	annRebuilds atomic.Int64
 }
 
 // NewEngine builds an engine over a collection of visual descriptors and an
@@ -161,9 +173,22 @@ func NewEngine(visual []linalg.Vector, log *feedbacklog.Log, opts Options) (*Eng
 	if opts.CSVM.Coupled.Workers <= 0 {
 		opts.CSVM.Coupled.Workers = opts.TrainWorkers
 	}
+	if opts.ANN.MinCollection <= 0 {
+		opts.ANN.MinCollection = DefaultANNMinCollection
+	}
+	if opts.ANN.RebuildTailFraction <= 0 {
+		opts.ANN.RebuildTailFraction = DefaultANNRebuildTailFraction
+	}
 	e := &Engine{opts: opts, log: log, trainSem: make(chan struct{}, opts.TrainWorkers)}
 	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
 	e.cur.Store(&epoch{visual: visual, batch: core.NewShardedCollectionBatch(visual, opts.ShardSize)})
+	// Build the initial candidate-generation index synchronously so a
+	// pruning-enabled engine never serves a cold start with a worse plan
+	// than it was configured for; later growth folds in via background
+	// rebuilds (maybeRebuildANN).
+	if opts.ANN.Enable && len(visual) >= opts.ANN.MinCollection {
+		e.rebuildANN()
+	}
 	return e, nil
 }
 
@@ -257,6 +282,10 @@ func (e *Engine) AddImages(ctx context.Context, descriptors []linalg.Vector) (in
 	visual := append(old.visual, added...)
 	e.log.GrowImages(len(added))
 	e.cur.Store(&epoch{visual: visual, batch: old.batch.Grow(visual)})
+	// The new images land in the unindexed tail of the pruned query path
+	// (always scanned exactly); fold them into the index in the background
+	// once the tail is worth it.
+	e.maybeRebuildANN()
 	return first, nil
 }
 
@@ -349,6 +378,16 @@ func (e *Engine) initialQuery(stdctx context.Context, ep *epoch, query, k int) (
 		Workers: e.opts.Workers,
 		Batch:   ep.batch,
 		Ctx:     stdctx,
+	}
+	// The pruned path considers only the probed cells' members plus the
+	// always-exact unindexed tail; every considered image is scored with
+	// the exhaustive path's arithmetic (see ann.go for the contract).
+	if cands, ok := e.annCandidates(ep, query); ok {
+		ranked, err := core.Euclidean{}.RankTopCandidates(ctx, cands, k, nil)
+		if err != nil {
+			return nil, err
+		}
+		return toResults(ranked), nil
 	}
 	ranked, err := core.Euclidean{}.RankTop(ctx, k)
 	if err != nil {

@@ -28,18 +28,28 @@ type classLimiter struct {
 	slots     chan struct{}
 	maxQueue  int64
 	queueWait time.Duration
+	now       func() time.Time // injectable clock for the drain-rate tests
 
 	inFlight atomic.Int64
 	queued   atomic.Int64
 	admitted atomic.Int64
 	shed     atomic.Int64
+
+	// svcEWMA tracks an exponentially weighted moving average of observed
+	// service times (release minus acquire, in nanoseconds; 0 until the
+	// first completion) and completions counts them. Together with the live
+	// queue depth they estimate how long a shed client should actually back
+	// off (retryAfterSeconds) instead of parroting the configured wait
+	// budget.
+	svcEWMA     atomic.Int64
+	completions atomic.Int64
 }
 
 // newClassLimiter builds a limiter admitting maxInFlight concurrent
 // requests (<=0 disables limiting), queueing up to maxInFlight more for at
 // most queueWait each.
 func newClassLimiter(maxInFlight int, queueWait time.Duration) *classLimiter {
-	l := &classLimiter{queueWait: queueWait}
+	l := &classLimiter{queueWait: queueWait, now: time.Now}
 	if maxInFlight > 0 {
 		l.slots = make(chan struct{}, maxInFlight)
 		l.maxQueue = int64(maxInFlight)
@@ -56,7 +66,9 @@ func (l *classLimiter) acquire(ctx context.Context) (release func(), err error) 
 	admit := func() func() {
 		l.inFlight.Add(1)
 		l.admitted.Add(1)
+		start := l.now()
 		return func() {
+			l.observe(l.now().Sub(start))
 			l.inFlight.Add(-1)
 			if l.slots != nil {
 				<-l.slots
@@ -91,6 +103,59 @@ func (l *classLimiter) acquire(ctx context.Context) (release func(), err error) 
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// observe folds one completed request's service time into the drain-rate
+// EWMA (alpha = 1/8: smooth enough to ride out one slow outlier, fresh
+// enough to track a load shift within a few requests).
+func (l *classLimiter) observe(d time.Duration) {
+	l.completions.Add(1)
+	if d < 1 {
+		d = 1 // keep "observed at least once" distinguishable from "never"
+	}
+	for {
+		old := l.svcEWMA.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old + (int64(d)-old)/8
+		}
+		if l.svcEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// maxRetryAfterSeconds caps the shed hint: past a few minutes the estimate
+// says "severely overloaded", and a larger number only desynchronizes
+// well-behaved clients further.
+const maxRetryAfterSeconds = 300
+
+// retryAfterSeconds estimates how long a shed client should back off, from
+// the class's observed drain rate: everyone already queued ahead of it plus
+// the in-flight wave must drain first, and each wave of maxInFlight requests
+// takes about one smoothed service time. A class that has completed nothing
+// yet has no drain rate to speak from and falls back to the configured wait
+// budget. The hint is clamped to [1, maxRetryAfterSeconds] whole seconds
+// (the Retry-After header's resolution).
+func (l *classLimiter) retryAfterSeconds() int64 {
+	ewma := l.svcEWMA.Load()
+	if ewma == 0 || l.slots == nil {
+		fallback := int64(l.queueWait / time.Second)
+		if fallback < 1 {
+			fallback = 1
+		}
+		return fallback
+	}
+	waves := l.queued.Load()/int64(cap(l.slots)) + 1
+	est := time.Duration(waves * ewma)
+	secs := int64((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
 }
 
 // status snapshots the limiter's gauges and counters.

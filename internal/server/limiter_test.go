@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// completeOne runs one acquire/release cycle taking exactly d of fake time
+// (fakeClock is shared with the lifecycle tests).
+func completeOne(t *testing.T, l *classLimiter, clock *fakeClock, d time.Duration) {
+	t.Helper()
+	release, err := l.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(d)
+	release()
+}
+
+// TestRetryAfterTracksDrainRate pins the shed hint to the class's observed
+// drain rate: before any completion it falls back to the wait budget, a
+// queue draining fast shortens it well below that budget, and a slow drain
+// with a deep queue lengthens it (up to the cap).
+func TestRetryAfterTracksDrainRate(t *testing.T) {
+	clock := &fakeClock{}
+	l := newClassLimiter(1, 20*time.Second)
+	l.now = clock.Now
+
+	// No completions yet: nothing is known about the drain rate, so the
+	// hint is the configured wait budget.
+	if got := l.retryAfterSeconds(); got != 20 {
+		t.Fatalf("fallback hint = %d, want 20 (QueueWait seconds)", got)
+	}
+
+	// A queue draining at ~10ms per request must shorten the hint to the
+	// 1-second floor — far below the static 20s budget.
+	for i := 0; i < 8; i++ {
+		completeOne(t, l, clock, 10*time.Millisecond)
+	}
+	if got := l.retryAfterSeconds(); got != 1 {
+		t.Fatalf("fast-drain hint = %d, want 1", got)
+	}
+
+	// A drain that slowed to ~40s per request must lengthen the hint past
+	// the static budget; the EWMA needs a few observations to travel.
+	for i := 0; i < 64; i++ {
+		completeOne(t, l, clock, 40*time.Second)
+	}
+	if got := l.retryAfterSeconds(); got <= 20 {
+		t.Fatalf("slow-drain hint = %d, want > 20", got)
+	}
+
+	// Queue depth multiplies the estimate: three waiters behind a
+	// single-slot class mean ~4 waves before a new arrival runs.
+	perWave := l.retryAfterSeconds()
+	l.queued.Store(3)
+	if got := l.retryAfterSeconds(); got < 4*perWave-4 {
+		t.Fatalf("queued hint = %d, want about 4x the per-wave hint %d", got, perWave)
+	}
+	l.queued.Store(1 << 20)
+	if got := l.retryAfterSeconds(); got != maxRetryAfterSeconds {
+		t.Fatalf("saturated hint = %d, want the %d cap", got, maxRetryAfterSeconds)
+	}
+}
+
+// TestRetryAfterHeaderReflectsDrainRate drives the same property through the
+// HTTP stack: after real fast completions, a shed 503's Retry-After must be
+// the drain-derived 1s, not the 20-second wait budget the static hint would
+// have parroted.
+func TestRetryAfterHeaderReflectsDrainRate(t *testing.T) {
+	srv, _, _, s := testServerFull(t, Config{MaxInflightQuery: 1, QueueWait: 20 * time.Second})
+	h := serverHandlerOf(t, srv)
+
+	// Seed the drain-rate estimate with a few real (fast) queries.
+	for i := 0; i < 4; i++ {
+		rr := serveWithCtx(t, h, context.Background(), http.MethodGet, "/api/query?image=1&k=3", nil)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("warm-up query %d: status %d (%s)", i, rr.Code, rr.Body.String())
+		}
+	}
+
+	// Saturate the class: one request holds the only slot, another fills
+	// the wait queue, so the next arrival is shed immediately.
+	release, err := s.limQuery.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	qctx, qcancel := context.WithCancel(context.Background())
+	defer qcancel()
+	queued := make(chan struct{})
+	go func() {
+		defer close(queued)
+		if rel, err := s.limQuery.acquire(qctx); err == nil {
+			rel()
+		}
+	}()
+	for deadline := time.Now().Add(5 * time.Second); s.limQuery.queued.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("filler request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rr := serveWithCtx(t, h, context.Background(), http.MethodGet, "/api/query?image=1&k=3", nil)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", rr.Code, rr.Body.String())
+	}
+	retry, err := strconv.Atoi(rr.Header().Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After = %q, want an integer", rr.Header().Get("Retry-After"))
+	}
+	if retry != 1 {
+		t.Fatalf("Retry-After = %d; the draining queue should shorten the hint to 1, not the 20s budget", retry)
+	}
+
+	qcancel()
+	<-queued
+}

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"context"
+	"encoding/json"
 	"net/http"
 	"strconv"
 	"testing"
+	"time"
 )
 
 // TestQueryBatchEndpoint verifies the batched probe endpoint returns one
@@ -56,6 +59,84 @@ func TestQueryBatchValidation(t *testing.T) {
 	if resp := getJSON(t, srv.URL+"/api/query/batch", nil); resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET on batch endpoint: status %d, want 405", resp.StatusCode)
 	}
+}
+
+// TestQueryBatchDuplicateProbes pins the duplicate-index semantics: repeated
+// probes are legal and every repetition gets the same full result list.
+func TestQueryBatchDuplicateProbes(t *testing.T) {
+	srv, _, _ := testServerWithConfig(t, Config{})
+	var batch QueryBatchResponse
+	resp := postJSON(t, srv.URL+"/api/query/batch", QueryBatchRequest{Images: []int{7, 7, 3, 7}, K: 5}, &batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(batch.Queries) != 4 {
+		t.Fatalf("%d query lists, want 4 (one per probe, duplicates included)", len(batch.Queries))
+	}
+	for _, i := range []int{1, 3} {
+		if batch.Queries[i].Query != 7 || len(batch.Queries[i].Results) != 5 {
+			t.Fatalf("duplicate probe list %d = %+v", i, batch.Queries[i])
+		}
+		for j := range batch.Queries[0].Results {
+			if batch.Queries[i].Results[j] != batch.Queries[0].Results[j] {
+				t.Fatalf("duplicate probes diverge at list %d result %d: %+v vs %+v",
+					i, j, batch.Queries[i].Results[j], batch.Queries[0].Results[j])
+			}
+		}
+	}
+}
+
+// TestQueryBatchZeroKSelectsDefault pins the k=0 clamp: the server never
+// forwards k=0 to the engine, it resolves to the configured default, so a
+// zero-k batch cannot come back with silently empty lists.
+func TestQueryBatchZeroKSelectsDefault(t *testing.T) {
+	srv, _, _ := testServerWithConfig(t, Config{DefaultK: 4})
+	var batch QueryBatchResponse
+	resp := postJSON(t, srv.URL+"/api/query/batch", QueryBatchRequest{Images: []int{2, 9}, K: 0}, &batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if batch.K != 4 {
+		t.Fatalf("k = %d, want the default 4", batch.K)
+	}
+	for i, q := range batch.Queries {
+		if len(q.Results) != 4 {
+			t.Fatalf("list %d has %d results, want 4", i, len(q.Results))
+		}
+	}
+}
+
+// partialBatchBody decodes an error response body and fails the test if it
+// smuggled any per-probe results alongside the error — the whole-batch
+// failure contract.
+func partialBatchBody(t *testing.T, body []byte) errorResponse {
+	t.Helper()
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatalf("error body is not JSON: %v (%s)", err, body)
+	}
+	if _, leaked := raw["queries"]; leaked {
+		t.Fatalf("failed batch returned partial results: %s", body)
+	}
+	var errResp errorResponse
+	if err := json.Unmarshal(body, &errResp); err != nil || errResp.Error == "" {
+		t.Fatalf("failed batch carries no error message: %s", body)
+	}
+	return errResp
+}
+
+// TestQueryBatchDeadlineFailsWholeBatch verifies an expired deadline
+// mid-batch surfaces as one 504 for the whole batch — never a 200 with the
+// probes that happened to finish.
+func TestQueryBatchDeadlineFailsWholeBatch(t *testing.T) {
+	srv, _, _ := testServerWithConfig(t, Config{QueryTimeout: time.Nanosecond})
+	h := serverHandlerOf(t, srv)
+	rr := serveWithCtx(t, h, context.Background(), http.MethodPost, "/api/query/batch",
+		QueryBatchRequest{Images: []int{0, 5, 9}, K: 5})
+	if rr.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", rr.Code, rr.Body.String())
+	}
+	partialBatchBody(t, rr.Body.Bytes())
 }
 
 // TestQueryKCapped verifies result lists are capped at the configured MaxK

@@ -82,6 +82,8 @@ func TestQueryBatchClientDisconnectMidScan(t *testing.T) {
 	if rr.Code != statusClientClosedRequest {
 		t.Fatalf("status = %d (%s), want 499", rr.Code, rr.Body.String())
 	}
+	// The whole batch failed: no probe's results leak out with the error.
+	partialBatchBody(t, rr.Body.Bytes())
 }
 
 // serverHandlerOf digs the live *Server handler out of the httptest server

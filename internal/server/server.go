@@ -454,18 +454,15 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // admit passes the request through its class limiter: shed requests get
-// 503 with a Retry-After hint sized to the wait budget, clients that give
-// up while queued get 499.
+// 503 with a Retry-After hint derived from the class's observed queue depth
+// and drain rate (falling back to the wait budget before any request has
+// completed), clients that give up while queued get 499.
 func (s *Server) admit(lim *classLimiter, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		release, err := lim.acquire(r.Context())
 		if err != nil {
 			if errors.Is(err, errOverloaded) {
-				retry := int64(s.cfg.QueueWait / time.Second)
-				if retry < 1 {
-					retry = 1
-				}
-				w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+				w.Header().Set("Retry-After", strconv.FormatInt(lim.retryAfterSeconds(), 10))
 				writeError(w, http.StatusServiceUnavailable, "overloaded: class concurrency limit reached, retry later")
 				return
 			}
@@ -586,6 +583,21 @@ type StatusResponse struct {
 	// Durability is present when the server runs with a journal attached
 	// (Config.Durability).
 	Durability *DurabilityStatus `json:"durability,omitempty"`
+	// ANN is present when the engine runs with approximate candidate
+	// generation enabled (retrieval.Options.ANN.Enable).
+	ANN *ANNStatus `json:"ann,omitempty"`
+}
+
+// ANNStatus is the candidate-generation index section of GET /api/status,
+// mirroring retrieval.ANNStats: how much of the collection the live index
+// covers, how wide queries probe, and how many index generations have been
+// published since startup.
+type ANNStatus struct {
+	Clusters      int   `json:"clusters"`
+	NProbe        int   `json:"nprobe"`
+	IndexedImages int   `json:"indexed_images"`
+	TailImages    int   `json:"tail_images"`
+	Rebuilds      int64 `json:"rebuilds"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -608,6 +620,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Durability != nil {
 		d := s.cfg.Durability()
 		resp.Durability = &d
+	}
+	if ann := s.engine.ANNStats(); ann.Enabled {
+		resp.ANN = &ANNStatus{
+			Clusters:      ann.Clusters,
+			NProbe:        ann.NProbe,
+			IndexedImages: ann.IndexedImages,
+			TailImages:    ann.TailImages,
+			Rebuilds:      ann.Rebuilds,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -677,6 +698,14 @@ type QueryBatchResponse struct {
 	Queries []QueryResponse `json:"queries"`
 }
 
+// handleQueryBatch answers POST /api/query/batch with all-or-nothing
+// semantics: either every probe's full result list is returned with 200, or
+// the whole batch fails with one error status and no partial results.
+// Cancellation or an expired deadline mid-batch therefore surfaces as
+// 499/504 with an error body — never as 200 over silently truncated lists.
+// Duplicate probe indices are legal and deterministic: equal probes yield
+// identical result lists. K is clamped server-side (0 selects DefaultK,
+// negatives are 400), so the engine never sees k < 1 from this handler.
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
