@@ -297,3 +297,51 @@ func (s LRF2SVMs) RankTopAppend(ctx *QueryContext, k int, dst []Ranked) ([]Ranke
 	}
 	return rankTopCoupled(ctx, batch, visualModel, logModel, k, dst)
 }
+
+// Pretrained2SVMs is one round's trained LRF-2SVMs model pair, split out so
+// the pure ranking stage can be measured and regression-tested in isolation:
+// the end-to-end lanes are dominated by training (~95% of a query round), so
+// fullsort-vs-stream differences there are benchmark noise, while on the
+// isolated ranking stage the streaming path's advantage is measurable.
+type Pretrained2SVMs struct {
+	visualModel, logModel *svm.Model
+}
+
+// Pretrain runs only the training stage of one LRF-2SVMs round and returns
+// the model pair for repeated ranking.
+func (s LRF2SVMs) Pretrain(ctx *QueryContext) (*Pretrained2SVMs, error) {
+	if err := ctx.Validate(true); err != nil {
+		return nil, err
+	}
+	visualModel, logModel, err := s.train(ctx, ctx.collectionBatch())
+	if err != nil {
+		return nil, err
+	}
+	return &Pretrained2SVMs{visualModel: visualModel, logModel: logModel}, nil
+}
+
+// Rank scores the whole collection with the pretrained pair — exactly the
+// post-training arithmetic of LRF2SVMs.Rank.
+func (p *Pretrained2SVMs) Rank(ctx *QueryContext) ([]float64, error) {
+	if err := ctx.Validate(true); err != nil {
+		return nil, err
+	}
+	batch := ctx.collectionBatch()
+	scores, err := rankCoupled(ctx, batch, p.visualModel, p.logModel)
+	if err != nil {
+		return nil, err
+	}
+	if err := addQueryPriorBatch(scores, ctx, batch); err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
+// RankTopAppend streams the top k with the pretrained pair — exactly the
+// post-training arithmetic of LRF2SVMs.RankTopAppend.
+func (p *Pretrained2SVMs) RankTopAppend(ctx *QueryContext, k int, dst []Ranked) ([]Ranked, error) {
+	if err := ctx.Validate(true); err != nil {
+		return nil, err
+	}
+	return rankTopCoupled(ctx, ctx.collectionBatch(), p.visualModel, p.logModel, k, dst)
+}

@@ -49,6 +49,9 @@ type CollectionBatch struct {
 	vkOnce sync.Once
 	vk     kernel.Kernel
 
+	qsOnce sync.Once
+	qs     *kernel.QuantizedSet
+
 	logMu  sync.Mutex
 	logSrc []*sparse.Vector
 	logPts []kernel.Point
@@ -115,6 +118,18 @@ func (b *CollectionBatch) matches(visual []linalg.Vector) bool {
 
 // VisualSet returns the sharded flat visual collection store.
 func (b *CollectionBatch) VisualSet() *kernel.ShardedSet { return b.set }
+
+// QuantizedVisualSet returns (building once) the int8 quantized shadow copy
+// of the visual collection for the approximate scan lane. The quantization
+// depends only on the collection, so the copy is shared by every query on
+// the batch; Grow produces a new batch and therefore a fresh quantization
+// covering the appended images.
+func (b *CollectionBatch) QuantizedVisualSet() *kernel.QuantizedSet {
+	b.qsOnce.Do(func() {
+		b.qs = kernel.NewQuantizedSet(b.src)
+	})
+	return b.qs
+}
 
 // defaultVisualKernel estimates (once) the default RBF kernel over the
 // collection's visual descriptors. The estimate depends only on the

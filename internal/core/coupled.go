@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -161,8 +162,8 @@ func TrainCoupled(modalities []Modality, labels []float64, initialUnlabeled []fl
 		if m.Kernel == nil {
 			return nil, fmt.Errorf("core: modality %q has no kernel", m.Name)
 		}
-		if m.C <= 0 {
-			return nil, fmt.Errorf("core: modality %q has non-positive cost %v", m.Name, m.C)
+		if !(m.C > 0) || math.IsInf(m.C, 0) {
+			return nil, fmt.Errorf("core: modality %q has cost %v, want a positive finite value", m.Name, m.C)
 		}
 		if len(m.Labeled) != nl {
 			return nil, fmt.Errorf("core: modality %q has %d labeled points, want %d", m.Name, len(m.Labeled), nl)
@@ -269,6 +270,11 @@ func TrainCoupled(modalities []Modality, labels []float64, initialUnlabeled []fl
 			// after updateLabels reads their alphas; the final ones are
 			// expanded just before TrainCoupled returns.
 			cfgSolver.OmitSupportVectors = true
+			// The problem is the validated template patched in place:
+			// labels stay in {-1,+1} (entry checks + updateLabels sign
+			// flips) and costs stay positive finite (rho schedule times
+			// an entry-checked C), so skip per-retrain revalidation.
+			cfgSolver.TrustedProblem = true
 			if cfg.WarmStart {
 				cfgSolver.WarmAlpha = warm[m]
 				if gradValid {
@@ -403,10 +409,11 @@ func decisionsFromCache(model *svm.Model, cache *kernel.Cache, ys []float64, nl 
 		if a == 0 {
 			continue
 		}
-		row := cache.Row(j)
+		row := cache.Row(j)[nl:]
+		row = row[:len(dec)]
 		c := a * ys[j]
 		for i := range dec {
-			dec[i] += c * row[nl+i]
+			dec[i] += c * row[i]
 		}
 	}
 }

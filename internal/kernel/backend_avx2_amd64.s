@@ -1,0 +1,171 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func dotPairRowsAVX2(mat *float64, rows, cols int, u, v, du, dv *float64)
+//
+// For each row r of the rows×cols row-major matrix: du[r] = mat[r]·u and
+// dv[r] = mat[r]·v, with the exact floating-point behavior of the scalar
+// four-accumulator pattern. Vector lane l accumulates the products of
+// elements i ≡ l (mod 4) in stride order (VADDPD lane arithmetic is the
+// same sequence of rounded double adds as the scalar a_l accumulators),
+// the scalar tail folds into lane 0, and the lanes combine left-to-right
+// as ((s0+s1)+s2)+s3. No FMA is used anywhere: every product rounds to
+// double before the add, exactly like the Go code.
+TEXT ·dotPairRowsAVX2(SB), NOSPLIT, $0-56
+	MOVQ mat+0(FP), SI
+	MOVQ rows+8(FP), R11
+	MOVQ cols+16(FP), R12
+	MOVQ u+24(FP), R13
+	MOVQ v+32(FP), R14
+	MOVQ du+40(FP), R15
+	MOVQ dv+48(FP), DI
+
+pairrow:
+	TESTQ R11, R11
+	JE    pairdone
+	MOVQ  R13, R9          // u cursor
+	MOVQ  R14, R10         // v cursor
+	MOVQ  R12, BX          // columns remaining
+	VXORPD Y0, Y0, Y0      // u-dot accumulators, lanes 0..3
+	VXORPD Y1, Y1, Y1      // v-dot accumulators, lanes 0..3
+
+pairvec4:
+	CMPQ BX, $4
+	JLT  pairtailsetup
+	VMOVUPD (SI), Y2
+	VMOVUPD (R9), Y3
+	VMOVUPD (R10), Y4
+	VMULPD  Y2, Y3, Y3
+	VADDPD  Y3, Y0, Y0
+	VMULPD  Y2, Y4, Y4
+	VADDPD  Y4, Y1, Y1
+	ADDQ    $32, SI
+	ADDQ    $32, R9
+	ADDQ    $32, R10
+	SUBQ    $4, BX
+	JMP     pairvec4
+
+pairtailsetup:
+	VEXTRACTF128 $1, Y0, X5 // u lanes 2,3
+	VEXTRACTF128 $1, Y1, X6 // v lanes 2,3
+	// X0 = u lanes 0,1 ; X1 = v lanes 0,1
+
+pairtail:
+	TESTQ BX, BX
+	JE    paircombine
+	VMOVSD (SI), X7
+	VMOVSD (R9), X8
+	VMULSD X7, X8, X8
+	VADDSD X8, X0, X0       // tail folds into lane 0; lane 1 preserved
+	VMOVSD (R10), X8
+	VMULSD X7, X8, X8
+	VADDSD X8, X1, X1
+	ADDQ   $8, SI
+	ADDQ   $8, R9
+	ADDQ   $8, R10
+	DECQ   BX
+	JMP    pairtail
+
+paircombine:
+	// du[r] = ((s0+s1)+s2)+s3
+	VSHUFPD $1, X0, X0, X7  // lane 0 := s1
+	VADDSD  X7, X0, X0
+	VADDSD  X5, X0, X0      // += s2
+	VSHUFPD $1, X5, X5, X7  // lane 0 := s3
+	VADDSD  X7, X0, X0
+	VMOVSD  X0, (R15)
+	// dv[r], same combine
+	VSHUFPD $1, X1, X1, X7
+	VADDSD  X7, X1, X1
+	VADDSD  X6, X1, X1
+	VSHUFPD $1, X6, X6, X7
+	VADDSD  X7, X1, X1
+	VMOVSD  X1, (DI)
+	ADDQ    $8, R15
+	ADDQ    $8, DI
+	DECQ    R11
+	JMP     pairrow
+
+pairdone:
+	VZEROUPPER
+	RET
+
+// func dotRowsAVX2(mat *float64, rows, cols int, u, du *float64)
+//
+// Single-vector variant of dotPairRowsAVX2 with identical summation
+// semantics, used for the odd trailing support vector.
+TEXT ·dotRowsAVX2(SB), NOSPLIT, $0-40
+	MOVQ mat+0(FP), SI
+	MOVQ rows+8(FP), R11
+	MOVQ cols+16(FP), R12
+	MOVQ u+24(FP), R13
+	MOVQ du+32(FP), R15
+
+onerow:
+	TESTQ R11, R11
+	JE    onedone
+	MOVQ  R13, R9
+	MOVQ  R12, BX
+	VXORPD Y0, Y0, Y0
+
+onevec4:
+	CMPQ BX, $4
+	JLT  onetailsetup
+	VMOVUPD (SI), Y2
+	VMOVUPD (R9), Y3
+	VMULPD  Y2, Y3, Y3
+	VADDPD  Y3, Y0, Y0
+	ADDQ    $32, SI
+	ADDQ    $32, R9
+	SUBQ    $4, BX
+	JMP     onevec4
+
+onetailsetup:
+	VEXTRACTF128 $1, Y0, X5
+
+onetail:
+	TESTQ BX, BX
+	JE    onecombine
+	VMOVSD (SI), X7
+	VMOVSD (R9), X8
+	VMULSD X7, X8, X8
+	VADDSD X8, X0, X0
+	ADDQ   $8, SI
+	ADDQ   $8, R9
+	DECQ   BX
+	JMP    onetail
+
+onecombine:
+	VSHUFPD $1, X0, X0, X7
+	VADDSD  X7, X0, X0
+	VADDSD  X5, X0, X0
+	VSHUFPD $1, X5, X5, X7
+	VADDSD  X7, X0, X0
+	VMOVSD  X0, (R15)
+	ADDQ    $8, R15
+	DECQ    R11
+	JMP     onerow
+
+onedone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,8 @@
+//go:build !amd64 || purego
+
+package kernel
+
+// avx2Impl is nil when the assembly backend is compiled out: non-amd64
+// targets and purego builds fall back to the portable "unrolled" backend
+// (the "avx2" name is then rejected by SetBackend as unavailable).
+var avx2Impl *backendImpl

@@ -1,0 +1,185 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"lrfcsvm/internal/linalg"
+)
+
+func backendVectors(rng *rand.Rand, n, dim int) []linalg.Vector {
+	vs := make([]linalg.Vector, n)
+	for i := range vs {
+		v := make(linalg.Vector, dim)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+// runBackend evaluates AccumulateSet under the named backend, restoring the
+// previous selection afterwards.
+func runBackend(t *testing.T, name string, k RBF, coefs []float64, svs, xs *DenseSet) []float64 {
+	t.Helper()
+	prev := Backend()
+	if err := SetBackend(name); err != nil {
+		t.Fatalf("SetBackend(%q): %v", name, err)
+	}
+	defer func() {
+		if err := SetBackend(prev); err != nil {
+			t.Fatalf("restore backend %q: %v", prev, err)
+		}
+	}()
+	dst := make([]float64, xs.Len())
+	for i := range dst {
+		dst[i] = 0.125 * float64(i) // non-trivial bias pre-fill
+	}
+	k.AccumulateSet(coefs, svs, xs, dst)
+	return dst
+}
+
+// TestBackendParity pins every available backend bit-for-bit against the
+// scalar oracle across support-vector counts (odd and even, exercising the
+// paired and trailing paths), row counts straddling the tile size, and
+// dimensions exercising the vector tail.
+func TestBackendParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dim := range []int{1, 3, 4, 7, 36} {
+		for _, nsv := range []int{1, 2, 5, 31} {
+			for _, rows := range []int{1, 3, 63, 64, 67, 192} {
+				svs := NewDenseSet(backendVectors(rng, nsv, dim))
+				xs := NewDenseSet(backendVectors(rng, rows, dim))
+				coefs := make([]float64, nsv)
+				for i := range coefs {
+					coefs[i] = rng.NormFloat64()
+				}
+				k := RBF{Gamma: 0.5 + rng.Float64()}
+				want := runBackend(t, BackendScalar, k, coefs, svs, xs)
+				for _, name := range Backends() {
+					if name == BackendAuto || name == BackendScalar {
+						continue
+					}
+					got := runBackend(t, name, k, coefs, svs, xs)
+					for j := range got {
+						if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+							t.Fatalf("backend %q dim=%d nsv=%d rows=%d: dst[%d] = %.17g, scalar %.17g (not bit-identical)",
+								name, dim, nsv, rows, j, got[j], want[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSetBackendUnknown checks that an unknown name is rejected with an
+// error naming the valid choices and leaves the selection untouched.
+func TestSetBackendUnknown(t *testing.T) {
+	prev := Backend()
+	err := SetBackend("simd9000")
+	if err == nil {
+		t.Fatal("SetBackend with unknown name succeeded")
+	}
+	if !strings.Contains(err.Error(), "simd9000") || !strings.Contains(err.Error(), BackendScalar) {
+		t.Fatalf("error should name the rejected backend and the available ones, got: %v", err)
+	}
+	if Backend() != prev {
+		t.Fatalf("failed SetBackend changed the active backend to %q", Backend())
+	}
+	for _, name := range Backends() {
+		if err := SetBackend(name); err != nil {
+			t.Fatalf("SetBackend(%q) listed as available but rejected: %v", name, err)
+		}
+	}
+	if err := SetBackend(prev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackendAutoResolves checks that "auto" resolves to a concrete backend
+// name, never to "auto" itself.
+func TestBackendAutoResolves(t *testing.T) {
+	prev := Backend()
+	defer SetBackend(prev)
+	if err := SetBackend(BackendAuto); err != nil {
+		t.Fatal(err)
+	}
+	if got := Backend(); got == BackendAuto || backendByName(got) == nil {
+		t.Fatalf("auto resolved to %q", got)
+	}
+}
+
+// TestBackendParitySharded scores a sharded collection concurrently under
+// every backend — shard counts {1,2,7} × workers {1,4} — and pins the
+// concatenated scores bit-for-bit against a serial scalar pass over the
+// whole set. Run under -race this also proves the dispatch path and the
+// assembly kernels are data-race free across concurrent workers.
+func TestBackendParitySharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const dim = 36
+	const nsv = 9
+	svs := NewDenseSet(backendVectors(rng, nsv, dim))
+	coefs := make([]float64, nsv)
+	for i := range coefs {
+		coefs[i] = rng.NormFloat64()
+	}
+	k := RBF{Gamma: 0.8}
+	for _, numShards := range []int{1, 2, 7} {
+		const shardSize = 29
+		n := numShards * shardSize
+		vs := backendVectors(rng, n, dim)
+		sharded := NewShardedSet(vs, shardSize)
+		if sharded.NumShards() != numShards {
+			t.Fatalf("built %d shards, want %d", sharded.NumShards(), numShards)
+		}
+		want := runBackend(t, BackendScalar, k, coefs, svs, NewDenseSet(vs))
+		for _, name := range Backends() {
+			if name == BackendAuto {
+				continue
+			}
+			for _, workers := range []int{1, 4} {
+				prev := Backend()
+				if err := SetBackend(name); err != nil {
+					t.Fatal(err)
+				}
+				got := make([]float64, n)
+				var wg sync.WaitGroup
+				work := make(chan int)
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for s := range work {
+							lo := sharded.ShardStart(s)
+							sh := sharded.Shard(s)
+							dst := got[lo : lo+sh.Len()]
+							for i := range dst {
+								dst[i] = 0.125 * float64(lo+i)
+							}
+							k.AccumulateSet(coefs, svs, sh, dst)
+						}
+					}()
+				}
+				for s := 0; s < sharded.NumShards(); s++ {
+					work <- s
+				}
+				close(work)
+				wg.Wait()
+				if err := SetBackend(prev); err != nil {
+					t.Fatal(err)
+				}
+				for j := range got {
+					if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("backend %q shards=%d workers=%d: dst[%d] = %.17g, scalar %.17g",
+							name, numShards, workers, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}

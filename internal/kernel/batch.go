@@ -3,6 +3,7 @@ package kernel
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"lrfcsvm/internal/linalg"
 )
@@ -57,6 +58,10 @@ func (Linear) EvalBatch(x Point, ys []Point, dst []float64) {
 			}
 		}
 	case Sparse:
+		if len(ys) >= sparseScatterMinBatch && xv.Dim > 0 {
+			linearSparseBatch(xv, ys, dst)
+			return
+		}
 		for j, y := range ys {
 			if yv, ok := y.(Sparse); ok {
 				dst[j] = xv.Vector.Dot(yv.Vector)
@@ -71,14 +76,175 @@ func (Linear) EvalBatch(x Point, ys []Point, dst []float64) {
 	}
 }
 
+// sparseScatterMinBatch is the batch size from which the scatter/gather
+// sparse dot pays for the O(nnz(x)) scatter and clear passes. Below it the
+// per-pair merge join wins.
+const sparseScatterMinBatch = 4
+
+// scatterPool recycles dense scatter buffers for the sparse batch path.
+// Every buffer in the pool is all-zero: linearSparseBatch clears exactly
+// the entries it scattered before returning its buffer.
+var scatterPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// linearSparseBatch computes dst[j] = <x, ys[j]> for a sparse x by
+// scattering x into a dense buffer once and gathering each y's entries
+// against it, replacing len(ys) merge joins over x with one O(nnz(x))
+// scatter plus an O(nnz(y)) gather per y. Because sparse vectors never
+// store zero entries, "buf[e.Index] != 0" holds exactly for the indices x
+// carries, so the gathered products are the matched products of the merge
+// join, accumulated in the same ascending-index order — the result is
+// bit-identical to sparse.Vector.Dot.
+func linearSparseBatch(x Sparse, ys []Point, dst []float64) {
+	bp := scatterPool.Get().(*[]float64)
+	buf := *bp
+	if cap(buf) >= x.Dim {
+		buf = buf[:x.Dim]
+	} else {
+		buf = make([]float64, x.Dim)
+	}
+	for _, e := range x.Entries {
+		buf[e.Index] = e.Value
+	}
+	for j, y := range ys {
+		yv, ok := y.(Sparse)
+		if !ok {
+			dst[j] = x.Dot(y)
+			continue
+		}
+		if yv.Dim != x.Dim {
+			dst[j] = x.Vector.Dot(yv.Vector)
+			continue
+		}
+		var s float64
+		for _, e := range yv.Entries {
+			if w := buf[e.Index]; w != 0 {
+				s += w * e.Value
+			}
+		}
+		dst[j] = s
+	}
+	for _, e := range x.Entries {
+		buf[e.Index] = 0
+	}
+	*bp = buf
+	scatterPool.Put(bp)
+}
+
+// svMatPool recycles the dim×nsv scatter matrices of the transposed
+// multi-support-vector sparse path. Like scatterPool, every buffer in the
+// pool is all-zero: LinearAccumulateSparse clears exactly the entries it
+// scattered before returning its matrix.
+var svMatPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// LinearAccumulateSparse accumulates a whole linear decision pass,
+// dst[j] += Σ_t coefs[t]·<svs[t], ys[j]>, for sparse support vectors. It
+// transposes the work: instead of one scatter/gather sweep over ys per
+// support vector, it scatters all support vectors once into a dim×nsv
+// column matrix and gathers every per-SV dot for an image in a single walk
+// of that image's entries, with the nsv running sums hot in one small
+// accumulator. Reports false (leaving dst untouched) when the shapes do not
+// fit — fewer than two support vectors, a non-sparse or zero-dimension
+// support vector, or a batch too small to amortize the scatter.
+//
+// Bit-exactness: for a fixed support vector t, the gathered products are
+// the matched products of the merge join in the same ascending-index order
+// (sparse vectors never store zeros, so "column[t] != 0" holds exactly for
+// the indices svs[t] carries), making each per-SV dot bit-identical to
+// Sparse.Dot; the final fold adds coefs[t]·dot_t into dst[j] in ascending
+// t, the accumulation order of the per-SV pass. The whole call is therefore
+// bit-for-bit equal to nsv successive Linear.EvalBatch accumulations.
+func LinearAccumulateSparse(coefs []float64, svs, ys []Point, dst []float64) bool {
+	if len(coefs) != len(svs) || len(svs) < 2 || len(ys) < sparseScatterMinBatch {
+		return false
+	}
+	checkBatch(len(ys), len(dst))
+	dim := -1
+	for _, sv := range svs {
+		v, ok := sv.(Sparse)
+		if !ok || v.Dim <= 0 {
+			return false
+		}
+		if dim < 0 {
+			dim = v.Dim
+		} else if v.Dim != dim {
+			return false
+		}
+	}
+	nsv := len(svs)
+	mp := svMatPool.Get().(*[]float64)
+	mat := *mp
+	if cap(mat) >= dim*nsv {
+		mat = mat[:dim*nsv]
+	} else {
+		mat = make([]float64, dim*nsv)
+	}
+	for t, sv := range svs {
+		for _, e := range sv.(Sparse).Entries {
+			mat[e.Index*nsv+t] = e.Value
+		}
+	}
+	acc := make([]float64, nsv)
+	for j, y := range ys {
+		yv, ok := y.(Sparse)
+		if !ok || yv.Dim != dim {
+			s := dst[j]
+			for t, sv := range svs {
+				s += coefs[t] * sv.Dot(y)
+			}
+			dst[j] = s
+			continue
+		}
+		for t := range acc {
+			acc[t] = 0
+		}
+		for _, e := range yv.Entries {
+			col := mat[e.Index*nsv : e.Index*nsv+nsv]
+			x := e.Value
+			for t, w := range col {
+				if w != 0 {
+					acc[t] += w * x
+				}
+			}
+		}
+		s := dst[j]
+		for t, a := range acc {
+			s += coefs[t] * a
+		}
+		dst[j] = s
+	}
+	for t, sv := range svs {
+		for _, e := range sv.(Sparse).Entries {
+			mat[e.Index*nsv+t] = 0
+		}
+	}
+	*mp = mat
+	svMatPool.Put(mp)
+	return true
+}
+
 // EvalBatch implements BatchKernel.
 func (k RBF) EvalBatch(x Point, ys []Point, dst []float64) {
 	checkBatch(len(ys), len(dst))
 	switch xv := x.(type) {
 	case Dense:
+		// The subtract-square sum is written inline rather than calling
+		// Vector.SquaredDistance: same single accumulator over the same
+		// ascending elements (bit-identical — the training paths that pin
+		// solver trajectories come through here), but without a non-inlined
+		// call and its length-check per pair.
+		xs := []float64(xv)
 		for j, y := range ys {
 			if yv, ok := y.(Dense); ok {
-				dst[j] = math.Exp(-k.Gamma * linalg.Vector(xv).SquaredDistance(linalg.Vector(yv)))
+				w := []float64(yv)
+				if len(w) != len(xs) {
+					panic(fmt.Sprintf("kernel: EvalBatch dimension mismatch %d != %d", len(w), len(xs)))
+				}
+				var s float64
+				for i, xi := range xs {
+					d := xi - w[i]
+					s += d * d
+				}
+				dst[j] = math.Exp(-k.Gamma * s)
 			} else {
 				dst[j] = k.Eval(x, y)
 			}
@@ -325,15 +491,16 @@ func (k Sigmoid) EvalSet(x linalg.Vector, set *DenseSet, dst []float64) {
 }
 
 // AccumulateSet adds coefs[t]*K(svs_t, xs_j) for every support vector t to
-// dst[j]. Support vectors are processed in pairs so each streamed pass over
-// the collection evaluates two kernel rows (halving the collection memory
-// traffic versus one matrix-vector product per support vector), with the
-// dots carried in independent four-way accumulators and the two
-// exponentials evaluated by the interleaved fast-exp pair. The dot and
-// expansion arithmetic matches EvalSet exactly; the fast exponential is
-// within ~2 ulp of math.Exp, so each accumulated score matches the per-SV
-// path to O(1e-15) relative error (EXPERIMENTS.md records the reported MAP
-// metrics unchanged). Callers pre-fill dst with the bias.
+// dst[j], dispatching to the active compute backend (see backend.go).
+// Every backend performs the same floating-point operations in the same
+// order — four-way-accumulator dots combined as ((s0+s1)+s2)+s3, the norm
+// expansion of EvalSet, the Cephes fast exponential, and coefficient pairs
+// folded in support-vector order — so the result is bit-identical across
+// backends (the parity tests pin them against the scalar oracle). The fast
+// exponential is within ~2 ulp of math.Exp, so each accumulated score
+// matches the per-SV math.Exp path to O(1e-15) relative error
+// (EXPERIMENTS.md records the reported MAP metrics unchanged). Callers
+// pre-fill dst with the bias.
 func (k RBF) AccumulateSet(coefs []float64, svs, xs *DenseSet, dst []float64) {
 	if len(coefs) != svs.Len() {
 		panic(fmt.Sprintf("kernel: AccumulateSet has %d coefficients for %d support vectors", len(coefs), svs.Len()))
@@ -342,73 +509,7 @@ func (k RBF) AccumulateSet(coefs []float64, svs, xs *DenseSet, dst []float64) {
 		panic(fmt.Sprintf("kernel: AccumulateSet dimension mismatch %d != %d", svs.Dim(), xs.Dim()))
 	}
 	checkBatch(xs.Len(), len(dst))
-	n := svs.Len()
-	rows := xs.Len()
-	cols := xs.mat.Cols
-	svData := svs.mat.Data
-	t := 0
-	for ; t+2 <= n; t += 2 {
-		svA := svData[t*cols : (t+1)*cols]
-		svB := svData[(t+1)*cols : (t+2)*cols]
-		nA, nB := svs.norms[t], svs.norms[t+1]
-		cA, cB := coefs[t], coefs[t+1]
-		for j := 0; j < rows; j++ {
-			x := xs.mat.Data[j*cols : (j+1)*cols]
-			svA := svA[:len(x)]
-			svB := svB[:len(x)]
-			var a0, a1, a2, a3, b0, b1, b2, b3 float64
-			i := 0
-			for ; i+4 <= len(x); i += 4 {
-				a0 += x[i] * svA[i]
-				a1 += x[i+1] * svA[i+1]
-				a2 += x[i+2] * svA[i+2]
-				a3 += x[i+3] * svA[i+3]
-				b0 += x[i] * svB[i]
-				b1 += x[i+1] * svB[i+1]
-				b2 += x[i+2] * svB[i+2]
-				b3 += x[i+3] * svB[i+3]
-			}
-			for ; i < len(x); i++ {
-				a0 += x[i] * svA[i]
-				b0 += x[i] * svB[i]
-			}
-			dA := xs.norms[j] + nA - 2*(((a0+a1)+a2)+a3)
-			if dA < 0 {
-				dA = 0
-			}
-			dB := xs.norms[j] + nB - 2*(((b0+b1)+b2)+b3)
-			if dB < 0 {
-				dB = 0
-			}
-			eA, eB := exp2(-k.Gamma*dA, -k.Gamma*dB)
-			s := dst[j] + cA*eA
-			dst[j] = s + cB*eB
-		}
-	}
-	if t < n {
-		sv := svData[t*cols : (t+1)*cols]
-		nA, cA := svs.norms[t], coefs[t]
-		for j := 0; j < rows; j++ {
-			x := xs.mat.Data[j*cols : (j+1)*cols]
-			sv := sv[:len(x)]
-			var a0, a1, a2, a3 float64
-			i := 0
-			for ; i+4 <= len(x); i += 4 {
-				a0 += x[i] * sv[i]
-				a1 += x[i+1] * sv[i+1]
-				a2 += x[i+2] * sv[i+2]
-				a3 += x[i+3] * sv[i+3]
-			}
-			for ; i < len(x); i++ {
-				a0 += x[i] * sv[i]
-			}
-			d := xs.norms[j] + nA - 2*(((a0+a1)+a2)+a3)
-			if d < 0 {
-				d = 0
-			}
-			dst[j] += cA * expOne(-k.Gamma*d)
-		}
-	}
+	activeBackend.Load().accumulateRBF(k.Gamma, coefs, svs, xs, dst)
 }
 
 // GramSet computes the Gram matrix of a dense set through the batched row

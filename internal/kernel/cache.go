@@ -1,6 +1,12 @@
 package kernel
 
-import "container/list"
+import (
+	"container/list"
+	"fmt"
+	"math"
+
+	"lrfcsvm/internal/linalg"
+)
 
 // Cache memoizes kernel evaluations between indexed points. The SMO solver
 // repeatedly asks for the same rows of the Gram matrix while it sweeps
@@ -31,8 +37,23 @@ type Cache struct {
 	lru  *list.List // front = most recently used
 	pos  map[int]*list.Element
 
+	// denseVecs is non-nil when the kernel is RBF and every point is
+	// Dense: row computation then runs over the raw vectors with the
+	// interface dispatch hoisted to construction. Same arithmetic as
+	// RBF.EvalBatch's dense path, so cached values are bit-identical.
+	denseVecs []linalg.Vector
+	rbfGamma  float64
+
+	// slab carves new rows out of shared chunks in the direct-indexed
+	// mode, where rows are never evicted and live as long as the cache —
+	// one allocation and one zeroing pass per chunk instead of per row.
+	slab []float64
+
 	hits, misses int
 }
+
+// cacheSlabRows is the number of rows carved from one slab chunk.
+const cacheSlabRows = 16
 
 // NewCache builds a row cache over the given points. capacity is the maximum
 // number of rows kept; a non-positive capacity keeps every row.
@@ -54,6 +75,22 @@ func NewCache(k Kernel, points []Point, capacity int) *Cache {
 		c.rows = make(map[int][]float64)
 		c.lru = list.New()
 		c.pos = make(map[int]*list.Element)
+	}
+	if rbf, ok := k.(RBF); ok {
+		vecs := make([]linalg.Vector, len(points))
+		allDense := true
+		for i, p := range points {
+			d, isDense := p.(Dense)
+			if !isDense {
+				allDense = false
+				break
+			}
+			vecs[i] = linalg.Vector(d)
+		}
+		if allDense && len(points) > 0 {
+			c.denseVecs = vecs
+			c.rbfGamma = rbf.Gamma
+		}
 	}
 	return c
 }
@@ -88,9 +125,45 @@ func (c *Cache) Row(i int) []float64 {
 }
 
 func (c *Cache) computeRow(i int) []float64 {
-	row := make([]float64, len(c.points))
+	var row []float64
+	if c.denseRows != nil {
+		// Direct-indexed mode: rows are never evicted, so carving them
+		// from slab chunks cannot pin dead memory.
+		n := len(c.points)
+		if len(c.slab) < n {
+			c.slab = make([]float64, n*cacheSlabRows)
+		}
+		row = c.slab[:n:n]
+		c.slab = c.slab[n:]
+	} else {
+		row = make([]float64, len(c.points))
+	}
+	if c.denseVecs != nil {
+		rbfRowDense(c.rbfGamma, c.denseVecs[i], c.denseVecs, row)
+		return row
+	}
 	EvalBatch(c.kernel, c.points[i], c.points, row)
 	return row
+}
+
+// rbfRowDense evaluates one RBF Gram row over dense vectors: exactly the
+// arithmetic of RBF.EvalBatch's dense path (single-accumulator
+// subtract-square sum in ascending element order, then math.Exp), with the
+// per-pair interface dispatch hoisted away.
+func rbfRowDense(gamma float64, x linalg.Vector, pts []linalg.Vector, dst []float64) {
+	xs := []float64(x)
+	for j, p := range pts {
+		w := []float64(p)
+		if len(w) != len(xs) {
+			panic(fmt.Sprintf("kernel: cache row dimension mismatch %d != %d", len(w), len(xs)))
+		}
+		var s float64
+		for i, xi := range xs {
+			d := xi - w[i]
+			s += d * d
+		}
+		dst[j] = math.Exp(-gamma * s)
+	}
 }
 
 // Eval returns K(points[i], points[j]). A single-pair probe must not

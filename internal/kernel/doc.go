@@ -1,0 +1,64 @@
+// Package kernel provides the Mercer kernels used by the SVM solver, over
+// both dense visual-feature vectors and sparse user-log vectors, plus Gram
+// matrix computation, a small evaluation cache, the batched scoring
+// primitives of the query hot path, and the approximate-scan structures
+// (IVF centroid index, int8 quantized shadow sets) built on top of them.
+//
+// The paper trains all schemes with the Gaussian RBF kernel; the linear,
+// polynomial and sigmoid kernels are provided for completeness and for the
+// ablation benchmarks.
+//
+// # Compute backends
+//
+// The batched scoring primitives (RBF.AccumulateSet and the distance scans
+// underneath) dispatch through a pluggable backend selected at runtime:
+//
+//   - "scalar" — the straight-line reference implementation. Every other
+//     backend is tested against it for bit-identical (math.Float64bits)
+//     output; it exists to be read and to be the oracle, not to be fast.
+//   - "unrolled" — the DEFAULT. Portable pure-Go: four-accumulator
+//     eight-wide unrolled dot products, 64-row block tiling so row data
+//     stays L1-resident across support-vector passes, and batched
+//     exponentials (expLanes) instead of per-element math.Exp calls.
+//     Default so that recorded benchmark numbers are comparable across
+//     machines and builds.
+//   - "avx2" — Go assembly behind `//go:build amd64 && !purego`, selected
+//     only when runtime CPU detection (AVX2 + OS XSAVE support) passes.
+//     Opt-in, never auto-selected by default.
+//   - "auto" — resolves to the fastest available backend at selection time
+//     ("avx2" when present, else "unrolled"); never reported back.
+//
+// Selection: SetBackend at runtime, the KERNEL_BACKEND environment variable
+// at startup (a typo panics rather than silently running a different
+// backend), or `cbirserver -kernel-backend`. Backend() names the active
+// choice and is surfaced in GET /api/status as "kernel_backend".
+//
+// Every backend is held to the same contract: bit-identical float64 results
+// to the scalar oracle on every input, including NaN/Inf propagation — not
+// a ULP tolerance. The four-accumulator summation pattern (lane l sums
+// elements with index ≡ l mod 4, tail into lane 0, combined as
+// ((s0+s1)+s2)+s3) is part of the contract, so wider unrolls and the
+// assembly backend must preserve each accumulator's addend sequence.
+// Training solvers keep calling math.Exp directly so solver trajectories
+// stay bit-exact regardless of backend.
+//
+// # Quantized scan lane
+//
+// QuantizedSet is an int8 shadow copy of a dense collection (symmetric
+// per-dimension quantization, code = round(v/scale_d) clamped to ±127,
+// scale_d = maxabs_d/127): one byte per dimension instead of eight.
+// ApproxSquaredDistances scans it with cached row norms and the
+// per-dimension scales folded into the query, one convert + multiply-add
+// per element.
+//
+// The lane is strictly a candidate generator. Approximate distances decide
+// only WHICH rows survive (an oversampled top k·oversample); survivors are
+// re-scored by the exact path (core.RankTopCandidates), so every score a
+// caller sees is bit-identical to an exhaustive exact scan — only top-k
+// membership is approximate, and it is absorbed by oversampling (recall@20
+// = 1.000 at the default 4× oversample on the recorded profiles; see
+// EXPERIMENTS.md). Scan determinism: repeated scans of the same set return
+// bit-identical values, but the norm-decomposed arithmetic is NOT the
+// textbook subtract-square sum — values can differ from it in the last
+// ulps and can go slightly negative for near-identical vectors.
+package kernel

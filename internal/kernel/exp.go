@@ -54,6 +54,68 @@ func expOne(x float64) float64 {
 	return r * math.Float64frombits(uint64(n+1023)<<52)
 }
 
+// expScale applies the 2^n scaling step shared by every lane width: the
+// fast bit-construction when 2^n is a normal float64 and math.Ldexp at the
+// denormal/overflow edges. Identical operations to the tail of expOne.
+func expScale(r float64, n int) float64 {
+	if n < -1021 || n > 1023 {
+		return math.Ldexp(r, n)
+	}
+	return r * math.Float64frombits(uint64(n+1023)<<52)
+}
+
+// expLanes replaces every element of v with e^v[i], processing four lanes at
+// a time so the four divisions and polynomial chains overlap in the
+// pipeline. Each lane performs exactly the arithmetic of expOne, so the
+// results are bit-identical to element-wise expOne (and exp2) calls; any
+// quad containing an argument outside [-700, 700] (or NaN) falls back to
+// per-element expOne, which delegates those elements to math.Exp.
+func expLanes(v []float64) {
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		a, b, c, d := v[i], v[i+1], v[i+2], v[i+3]
+		if a != a || a > 700 || a < -700 ||
+			b != b || b > 700 || b < -700 ||
+			c != c || c > 700 || c < -700 ||
+			d != d || d > 700 || d < -700 {
+			v[i], v[i+1], v[i+2], v[i+3] = expOne(a), expOne(b), expOne(c), expOne(d)
+			continue
+		}
+		ka := math.Floor(expLog2E*a + 0.5)
+		kb := math.Floor(expLog2E*b + 0.5)
+		kc := math.Floor(expLog2E*c + 0.5)
+		kd := math.Floor(expLog2E*d + 0.5)
+		na, nb, nc, nd := int(ka), int(kb), int(kc), int(kd)
+		a -= ka * expC1
+		b -= kb * expC1
+		c -= kc * expC1
+		d -= kd * expC1
+		a -= ka * expC2
+		b -= kb * expC2
+		c -= kc * expC2
+		d -= kd * expC2
+		aa := a * a
+		bb := b * b
+		cc := c * c
+		dd := d * d
+		pa := a * ((expP[0]*aa+expP[1])*aa + expP[2])
+		pb := b * ((expP[0]*bb+expP[1])*bb + expP[2])
+		pc := c * ((expP[0]*cc+expP[1])*cc + expP[2])
+		pd := d * ((expP[0]*dd+expP[1])*dd + expP[2])
+		qa := ((expQ[0]*aa+expQ[1])*aa+expQ[2])*aa + expQ[3]
+		qb := ((expQ[0]*bb+expQ[1])*bb+expQ[2])*bb + expQ[3]
+		qc := ((expQ[0]*cc+expQ[1])*cc+expQ[2])*cc + expQ[3]
+		qd := ((expQ[0]*dd+expQ[1])*dd+expQ[2])*dd + expQ[3]
+		v[i] = expScale(1+2*(pa/(qa-pa)), na)
+		v[i+1] = expScale(1+2*(pb/(qb-pb)), nb)
+		v[i+2] = expScale(1+2*(pc/(qc-pc)), nc)
+		v[i+3] = expScale(1+2*(pd/(qd-pd)), nd)
+	}
+	for ; i < len(v); i++ {
+		v[i] = expOne(v[i])
+	}
+}
+
 // exp2 returns (e^a, e^b) with the two evaluations interleaved for
 // instruction-level parallelism.
 func exp2(a, b float64) (float64, float64) {

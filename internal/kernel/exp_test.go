@@ -1,0 +1,178 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ulpDiff returns the distance between two floats in units of last place,
+// using the standard order-preserving mapping of float64 bit patterns to
+// integers (negative floats map below positives). Any NaN yields MaxUint64
+// unless both are NaN.
+func ulpDiff(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return 0
+		}
+		return math.MaxUint64
+	}
+	ord := func(f float64) int64 {
+		u := int64(math.Float64bits(f))
+		if u < 0 {
+			u = math.MinInt64 - u
+		}
+		return u
+	}
+	d := ord(a) - ord(b)
+	if d < 0 {
+		d = -d
+	}
+	return uint64(d)
+}
+
+// expULPBound is the accuracy contract of the Cephes fast path: at most 2
+// ulp from math.Exp everywhere in the delegation window [-700, 700]. The RBF
+// scoring path only ever evaluates exp of -gamma*d^2 <= 0, but the bound is
+// held on the positive side too so the routine stays safely general.
+const expULPBound = 2
+
+// TestExpMaxULPFullRange sweeps the full non-delegating argument range with
+// dense uniform sampling plus a fixed grid and pins the worst-case ULP error
+// against math.Exp.
+func TestExpMaxULPFullRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var worst uint64
+	var worstAt float64
+	check := func(x float64) {
+		if d := ulpDiff(expOne(x), math.Exp(x)); d > worst {
+			worst, worstAt = d, x
+		}
+	}
+	// Uniform over the whole window, then concentrated where RBF arguments
+	// actually live (small negative values down to deep underflow of the
+	// similarity, not of the float).
+	for i := 0; i < 200000; i++ {
+		check(rng.Float64()*1400 - 700)
+		check(-rng.Float64() * 50)
+	}
+	// Fixed grid including the exact window edges and the integer powers
+	// where the 2^n scaling switches bit patterns.
+	for x := -700.0; x <= 700.0; x += 0.5 {
+		check(x)
+	}
+	for _, x := range []float64{-700, 700, -0.5, 0.5, 0, math.Ln2, -math.Ln2, 709.0 * math.Ln2 / 1.5} {
+		check(x)
+	}
+	t.Logf("fast exp worst case: %d ulp at x = %.17g", worst, worstAt)
+	if worst > expULPBound {
+		t.Fatalf("fast exp is %d ulp off math.Exp at x = %.17g, contract is <= %d", worst, worstAt, expULPBound)
+	}
+}
+
+// TestExpDelegationEdges verifies everything outside [-700, 700] — deep
+// underflow into denormals, overflow to +Inf, infinities, NaN — is delegated
+// to math.Exp bit-for-bit, and that the shared 2^n scaling helper matches
+// math.Ldexp at the denormal and overflow edges it guards.
+func TestExpDelegationEdges(t *testing.T) {
+	delegated := []float64{
+		-1e308, -745.2, -744.03, -708.4, -700.0000001, // denormal/underflow region
+		700.0000001, 709.78, 710, 1e308, // overflow region
+		math.Inf(-1), math.Inf(1), math.NaN(),
+	}
+	for _, x := range delegated {
+		got, want := expOne(x), math.Exp(x)
+		if math.Float64bits(got) != math.Float64bits(want) && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("expOne(%v) = %v, want math.Exp's %v bit-for-bit", x, got, want)
+		}
+	}
+	// math.Exp(-744.03) is a denormal; delegation must preserve it exactly.
+	if w := math.Exp(-744.03); w == 0 || math.Float64bits(expOne(-744.03)) != math.Float64bits(w) {
+		t.Errorf("denormal delegation broken: expOne(-744.03) = %v, want %v", expOne(-744.03), w)
+	}
+	for _, tc := range []struct {
+		r float64
+		n int
+	}{
+		{1.5, -1030}, {1.9999, -1022}, {1.0, -1074}, {1.5, 1024}, {1.0, 1023}, {1.3, -1021},
+	} {
+		if got, want := expScale(tc.r, tc.n), math.Ldexp(tc.r, tc.n); math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("expScale(%v, %d) = %v, want math.Ldexp's %v", tc.r, tc.n, got, want)
+		}
+	}
+}
+
+// TestExpLanesBitParity pins the vectorized widths to the scalar routine:
+// expLanes and exp2 must be bit-identical to element-wise expOne for every
+// slice length (covering the quad main loop and every tail) and for quads
+// holding special values that force the per-element fallback.
+func TestExpLanesBitParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -750, 710, 0, -700, 700}
+	for n := 0; n <= 17; n++ {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()*1500 - 760 // includes out-of-window arguments
+		}
+		if n > 3 {
+			v[rng.Intn(n)] = specials[rng.Intn(len(specials))]
+		}
+		want := make([]float64, n)
+		for i, x := range v {
+			want[i] = expOne(x)
+		}
+		got := append([]float64(nil), v...)
+		expLanes(got)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) && !(math.IsNaN(got[i]) && math.IsNaN(want[i])) {
+				t.Fatalf("len %d: expLanes[%d](%v) = %v, expOne = %v", n, i, v[i], got[i], want[i])
+			}
+		}
+		if n >= 2 {
+			// exp2 delegates the whole pair to math.Exp when either element
+			// is outside the window, so it matches expOne element-wise only
+			// for fully in-window pairs.
+			a, b := v[0], v[1]
+			ga, gb := exp2(a, b)
+			wa, wb := want[0], want[1]
+			if a != a || a > 700 || a < -700 || b != b || b > 700 || b < -700 {
+				wa, wb = math.Exp(a), math.Exp(b)
+			}
+			if (math.Float64bits(ga) != math.Float64bits(wa) && !(math.IsNaN(ga) && math.IsNaN(wa))) ||
+				(math.Float64bits(gb) != math.Float64bits(wb) && !(math.IsNaN(gb) && math.IsNaN(wb))) {
+				t.Fatalf("exp2(%v, %v) = (%v, %v), want (%v, %v)", a, b, ga, gb, wa, wb)
+			}
+		}
+	}
+}
+
+// FuzzExp holds the accuracy and delegation contracts under fuzzing: inside
+// [-700, 700] the fast path stays within the ULP bound of math.Exp; outside
+// it is math.Exp bit-for-bit.
+func FuzzExp(f *testing.F) {
+	for _, x := range []float64{0, 1, -1, -50.25, 699.999, -699.999, 700, -700,
+		709.78, -745.13, math.Ln2, -math.Ln2, 1e-300, -1e-300} {
+		f.Add(x)
+	}
+	f.Fuzz(func(t *testing.T, x float64) {
+		got, want := expOne(x), math.Exp(x)
+		if x != x || x > 700 || x < -700 {
+			if math.Float64bits(got) != math.Float64bits(want) && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("expOne(%v) = %v, want delegation to math.Exp's %v", x, got, want)
+			}
+			return
+		}
+		if d := ulpDiff(got, want); d > expULPBound {
+			t.Fatalf("expOne(%v) = %v, %d ulp from math.Exp's %v", x, got, d, want)
+		}
+		var v [4]float64
+		v[0], v[1], v[2], v[3] = x, -x, x/2, x*0.999
+		lanes := v
+		expLanes(lanes[:])
+		for i, xi := range v {
+			if w := expOne(xi); math.Float64bits(lanes[i]) != math.Float64bits(w) {
+				t.Fatalf("expLanes lane %d (%v) = %v, expOne = %v", i, xi, lanes[i], w)
+			}
+		}
+	})
+}

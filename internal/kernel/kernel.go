@@ -1,10 +1,3 @@
-// Package kernel provides the Mercer kernels used by the SVM solver, over
-// both dense visual-feature vectors and sparse user-log vectors, plus Gram
-// matrix computation and a small evaluation cache.
-//
-// The paper trains all schemes with the Gaussian RBF kernel; the linear,
-// polynomial and sigmoid kernels are provided for completeness and for the
-// ablation benchmarks.
 package kernel
 
 import (

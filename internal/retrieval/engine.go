@@ -75,6 +75,13 @@ type Options struct {
 	// IVF-style centroid pruning with exact re-ranking (see ann.go). The
 	// zero value keeps every query exhaustive.
 	ANN ANNOptions
+	// Quantized configures the int8 approximate scan lane for initial
+	// queries: a full scan over a quantized shadow copy of the collection
+	// selects an oversampled candidate pool that is re-scored exactly
+	// (see quantized.go). It serves queries the ANN index does not cover
+	// — ANN candidates take precedence when both are enabled and an index
+	// is live. The zero value keeps every query exhaustive.
+	Quantized QuantizedOptions
 	// Journal is an optional durability sink (typically *storage.Journal):
 	// every committed feedback session and every ingested image batch is
 	// appended to it before the in-memory state mutates, under the same
@@ -145,6 +152,10 @@ type Engine struct {
 	ann         atomic.Pointer[annState]
 	annBuilding atomic.Bool
 	annRebuilds atomic.Int64
+
+	// quantQueries counts initial queries served through the quantized
+	// approximate-scan lane (see quantized.go).
+	quantQueries atomic.Int64
 }
 
 // NewEngine builds an engine over a collection of visual descriptors and an
@@ -387,6 +398,18 @@ func (e *Engine) initialQuery(stdctx context.Context, ep *epoch, query, k int) (
 		if err != nil {
 			return nil, err
 		}
+		return toResults(ranked), nil
+	}
+	// The quantized lane covers what the ANN index does not: an int8
+	// approximate scan picks an oversampled pool, re-scored exactly, so
+	// returned scores stay bit-identical to the exhaustive scan's (see
+	// quantized.go for the recall contract).
+	if e.opts.Quantized.Enable {
+		ranked, err := core.Euclidean{}.RankTopQuantized(ctx, k, e.opts.Quantized.Oversample, nil)
+		if err != nil {
+			return nil, err
+		}
+		e.quantQueries.Add(1)
 		return toResults(ranked), nil
 	}
 	ranked, err := core.Euclidean{}.RankTop(ctx, k)

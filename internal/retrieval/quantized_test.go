@@ -1,0 +1,139 @@
+package retrieval
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"lrfcsvm/internal/core"
+)
+
+func TestQuantizedDisabledByDefault(t *testing.T) {
+	visual, _, log := testCollection(t)
+	e, err := NewEngine(visual, log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	st := e.QuantizedStats()
+	if st.Enabled || st.Queries != 0 || st.CodeBytes != 0 {
+		t.Fatalf("default engine reports quantized state: %+v", st)
+	}
+	if st.Oversample != core.DefaultQuantizedOversample {
+		t.Fatalf("resolved oversample = %d, want default %d", st.Oversample, core.DefaultQuantizedOversample)
+	}
+}
+
+// A saturating oversample keeps the whole collection, so the quantized lane
+// must reproduce the exhaustive engine's initial-query results bit-for-bit.
+func TestQuantizedInitialQueryParitySaturated(t *testing.T) {
+	visual, _, log := testCollection(t)
+	exact, err := NewEngine(visual, log.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exact.Close()
+	quant, err := NewEngine(visual, log, Options{
+		Quantized: QuantizedOptions{Enable: true, Oversample: len(visual)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quant.Close()
+
+	for query := 0; query < len(visual); query += 7 {
+		want, err := exact.InitialQuery(context.Background(), query, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := quant.InitialQuery(context.Background(), query, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", query, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d = %+v, want %+v", query, i, got[i], want[i])
+			}
+		}
+	}
+
+	st := quant.QuantizedStats()
+	if !st.Enabled || st.Queries == 0 {
+		t.Fatalf("quantized lane never served: %+v", st)
+	}
+	wantBytes := int64(len(visual)) * int64(len(visual[0]))
+	if st.CodeBytes != wantBytes {
+		t.Fatalf("CodeBytes = %d, want %d", st.CodeBytes, wantBytes)
+	}
+	if exact.QuantizedStats().Queries != 0 {
+		t.Fatal("exhaustive engine counted quantized queries")
+	}
+}
+
+// At the default oversample membership may in principle differ, but every
+// score the lane returns must be the image's exact exhaustive score.
+func TestQuantizedScoresExactAtDefaultOversample(t *testing.T) {
+	visual, _, log := testCollection(t)
+	exact, err := NewEngine(visual, log.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exact.Close()
+	quant, err := NewEngine(visual, log, Options{
+		Quantized: QuantizedOptions{Enable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quant.Close()
+
+	full, err := exact.InitialQuery(context.Background(), 3, len(visual))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactScore := make(map[int]float64, len(full))
+	for _, r := range full {
+		exactScore[r.Image] = r.Score
+	}
+	got, err := quant.InitialQuery(context.Background(), 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d results, want 10", len(got))
+	}
+	for _, r := range got {
+		want, ok := exactScore[r.Image]
+		if !ok {
+			t.Fatalf("image %d missing from exhaustive ranking", r.Image)
+		}
+		if math.Float64bits(r.Score) != math.Float64bits(want) {
+			t.Fatalf("image %d: quantized score %.17g, exact %.17g", r.Image, r.Score, want)
+		}
+	}
+}
+
+// When the ANN index covers the collection it takes precedence; the quantized
+// lane must stay idle.
+func TestQuantizedYieldsToANN(t *testing.T) {
+	visual, _, log := testCollection(t)
+	opts := annTestOptions(5, 0)
+	opts.Quantized = QuantizedOptions{Enable: true}
+	e, err := NewEngine(visual, log, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.InitialQuery(context.Background(), 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.QuantizedStats(); st.Queries != 0 {
+		t.Fatalf("quantized lane served despite live ANN index: %+v", st)
+	}
+	if e.ANNStats().IndexedImages != len(visual) {
+		t.Fatal("ANN index not live — precedence test is vacuous")
+	}
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lrfcsvm/internal/kernel"
+	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/retrieval"
+)
+
+// TestStatusReportsKernelBackend verifies /api/status always names the active
+// compute backend, and that it matches the kernel package's report.
+func TestStatusReportsKernelBackend(t *testing.T) {
+	srv, _ := testServer(t)
+	var status StatusResponse
+	getJSON(t, srv.URL+"/api/status", &status)
+	if status.KernelBackend == "" {
+		t.Fatal("status omitted the kernel backend")
+	}
+	if status.KernelBackend != kernel.Backend() {
+		t.Fatalf("status backend %q, kernel reports %q", status.KernelBackend, kernel.Backend())
+	}
+}
+
+// TestStatusReportsQuantized verifies the quantized section appears only when
+// the lane is enabled and tracks the engine's counters.
+func TestStatusReportsQuantized(t *testing.T) {
+	srv, _ := testServer(t)
+	var status StatusResponse
+	getJSON(t, srv.URL+"/api/status", &status)
+	if status.Quantized != nil {
+		t.Fatalf("exhaustive server reports a quantized section: %+v", *status.Quantized)
+	}
+
+	rng := linalg.NewRNG(12)
+	visual := make([]linalg.Vector, 40)
+	for i := range visual {
+		visual[i] = linalg.Vector{rng.Normal(0, 1), rng.Normal(0, 1)}
+	}
+	engine, err := retrieval.NewEngine(visual, nil, retrieval.Options{
+		Quantized: retrieval.QuantizedOptions{Enable: true, Oversample: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(engine, Config{})
+	qSrv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		qSrv.Close()
+		s.Close()
+		engine.Close()
+	})
+
+	// Serve one query through the lane so the counter moves.
+	resp, err := http.Get(qSrv.URL + "/api/query?image=0&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status code %d", resp.StatusCode)
+	}
+
+	var qStatus StatusResponse
+	if resp := getJSON(t, qSrv.URL+"/api/status", &qStatus); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status code %d", resp.StatusCode)
+	}
+	if qStatus.Quantized == nil {
+		t.Fatal("quantized server omitted the quantized section")
+	}
+	got := *qStatus.Quantized
+	if got.Oversample != 3 {
+		t.Fatalf("oversample = %d, want 3", got.Oversample)
+	}
+	if got.Queries != 1 {
+		t.Fatalf("queries = %d, want 1", got.Queries)
+	}
+	if want := int64(len(visual)) * 2; got.CodeBytes != want {
+		t.Fatalf("code bytes = %d, want %d", got.CodeBytes, want)
+	}
+}

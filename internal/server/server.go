@@ -86,6 +86,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lrfcsvm/internal/kernel"
 	"lrfcsvm/internal/linalg"
 	"lrfcsvm/internal/retrieval"
 )
@@ -586,6 +587,25 @@ type StatusResponse struct {
 	// ANN is present when the engine runs with approximate candidate
 	// generation enabled (retrieval.Options.ANN.Enable).
 	ANN *ANNStatus `json:"ann,omitempty"`
+	// KernelBackend is the active compute backend of the scoring kernels
+	// (see internal/kernel: "scalar", "unrolled", or "avx2").
+	KernelBackend string `json:"kernel_backend"`
+	// Quantized is present when the engine runs with the int8
+	// approximate-scan lane enabled (retrieval.Options.Quantized.Enable).
+	Quantized *QuantizedStatus `json:"quantized,omitempty"`
+}
+
+// QuantizedStatus is the quantized scan lane section of GET /api/status,
+// mirroring retrieval.QuantizedStats.
+type QuantizedStatus struct {
+	// Oversample is the survivor multiplier: the approximate scan keeps
+	// the top k*oversample images for exact re-scoring.
+	Oversample int `json:"oversample"`
+	// Queries counts initial queries served through the quantized lane.
+	Queries int64 `json:"queries"`
+	// CodeBytes is the int8 shadow copy's footprint for the current
+	// collection.
+	CodeBytes int64 `json:"code_bytes"`
 }
 
 // ANNStatus is the candidate-generation index section of GET /api/status,
@@ -628,6 +648,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			IndexedImages: ann.IndexedImages,
 			TailImages:    ann.TailImages,
 			Rebuilds:      ann.Rebuilds,
+		}
+	}
+	resp.KernelBackend = kernel.Backend()
+	if q := s.engine.QuantizedStats(); q.Enabled {
+		resp.Quantized = &QuantizedStatus{
+			Oversample: q.Oversample,
+			Queries:    q.Queries,
+			CodeBytes:  q.CodeBytes,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

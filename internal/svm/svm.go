@@ -123,6 +123,14 @@ type Config struct {
 	// after the label-correction step reads the alphas, so materializing
 	// their support-vector lists is pure waste.
 	OmitSupportVectors bool
+	// TrustedProblem skips Problem.Validate inside Train. Only for
+	// callers that retrain many problems derived from one already
+	// validated template — same points, labels kept in {-1,+1}, costs
+	// kept positive and finite — like the coupled SVM's annealing loop,
+	// which otherwise pays the O(n) validation ~60 times per query for
+	// problems that cannot have gone invalid. An actually-invalid
+	// trusted problem is undefined behavior (garbage in, garbage out).
+	TrustedProblem bool
 	// Shrinking enables the LIBSVM-style shrinking heuristic: every
 	// ShrinkInterval iterations, bound-pinned variables (alpha at 0 or C_i)
 	// whose violation lies strictly beyond the current extremes are
@@ -218,8 +226,10 @@ func (m *Model) denseSVSet() *kernel.DenseSet {
 
 // Train solves the dual problem and returns the resulting model.
 func Train(p Problem, cfg Config) (*Model, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+	if !cfg.TrustedProblem {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Kernel == nil {
 		return nil, errors.New("svm: config must specify a kernel")
@@ -340,6 +350,14 @@ func (m *Model) DecisionBatch(ys []kernel.Point, dst, buf []float64) {
 	if len(m.SupportPoints) == 0 {
 		return
 	}
+	if _, linear := m.Kernel.(kernel.Linear); linear {
+		// Sparse linear models (the log modality) take the transposed
+		// multi-SV path: one scatter of all support vectors, one gather
+		// sweep per image, bit-identical to the per-SV accumulation.
+		if kernel.LinearAccumulateSparse(m.Coefficients, m.SupportPoints, ys, dst) {
+			return
+		}
+	}
 	if len(buf) != len(ys) {
 		buf = make([]float64, len(ys))
 	}
@@ -419,6 +437,13 @@ type solverScratch struct {
 	grad   []float64
 	active []int
 	idx    []int // inactive-index buffer for gradient reconstruction
+	upPen  []float64
+	lowPen []float64
+
+	// sol is the solver struct itself, recycled with the arrays: at dozens
+	// of retrainings per feedback round the per-Train escape of &solver{}
+	// is measurable on the allocation profile.
+	sol solver
 }
 
 var scratchPool = sync.Pool{New: func() interface{} { return new(solverScratch) }}
@@ -430,11 +455,15 @@ func (sc *solverScratch) grab(n int) {
 		sc.grad = make([]float64, n)
 		sc.active = make([]int, n)
 		sc.idx = make([]int, 0, n)
+		sc.upPen = make([]float64, n)
+		sc.lowPen = make([]float64, n)
 	}
 	sc.alpha = sc.alpha[:n]
 	sc.grad = sc.grad[:n]
 	sc.active = sc.active[:n]
 	sc.idx = sc.idx[:0]
+	sc.upPen = sc.upPen[:n]
+	sc.lowPen = sc.lowPen[:n]
 }
 
 // solver carries the SMO state.
@@ -454,6 +483,20 @@ type solver struct {
 	active []int
 	shrunk bool
 
+	// upPen/lowPen cache the working-set membership of each variable as
+	// additive penalties: upPen[t] is 0 when t is in the up set
+	// ((y>0 && a<C) || (y<0 && a>0)) and -Inf otherwise; lowPen[t] is 0
+	// when t is in the low set (the mirror predicate) and +Inf otherwise.
+	// The selection scans compare v+pen instead of branching on a mask:
+	// for a member the addend 0 leaves v unchanged (+0 vs -0 never
+	// affects a comparison), for a non-member the result is ∓Inf or NaN
+	// (when v is itself the opposite infinity), none of which can win a
+	// strict comparison against the running extreme — exactly like the
+	// short-circuited mask test, branch-free. Refreshed whenever an alpha
+	// changes (refreshElig).
+	upPen  []float64
+	lowPen []float64
+
 	iterations int
 	shrinks    int
 	converged  bool
@@ -468,7 +511,8 @@ func newSolver(p Problem, cfg Config) *solver {
 	}
 	sc := scratchPool.Get().(*solverScratch)
 	sc.grab(n)
-	s := &solver{
+	s := &sc.sol
+	*s = solver{
 		p:       p,
 		cfg:     cfg,
 		cache:   cache,
@@ -476,6 +520,8 @@ func newSolver(p Problem, cfg Config) *solver {
 		alpha:   sc.alpha,
 		grad:    sc.grad,
 		active:  sc.active,
+		upPen:   sc.upPen,
+		lowPen:  sc.lowPen,
 	}
 	for i := range s.active {
 		s.active[i] = i
@@ -485,7 +531,35 @@ func newSolver(p Problem, cfg Config) *solver {
 		warm = nil
 	}
 	s.initState(warm, cfg.WarmGrad)
+	for t := range s.alpha {
+		s.refreshElig(t)
+	}
 	return s
+}
+
+// refreshElig recomputes the up/low working-set penalties of index t from
+// its current alpha. Called for every index at construction and for the
+// two pair indices after each SMO update — the only places alphas change.
+func (s *solver) refreshElig(t int) {
+	a := s.alpha[t]
+	var up, low bool
+	if s.p.Labels[t] > 0 {
+		up = a < s.p.C[t]
+		low = a > 0
+	} else {
+		up = a > 0
+		low = a < s.p.C[t]
+	}
+	if up {
+		s.upPen[t] = 0
+	} else {
+		s.upPen[t] = math.Inf(-1)
+	}
+	if low {
+		s.lowPen[t] = 0
+	} else {
+		s.lowPen[t] = math.Inf(1)
+	}
 }
 
 // release returns the solver's working memory to the pool. The caller must
@@ -493,7 +567,9 @@ func newSolver(p Problem, cfg Config) *solver {
 // model first).
 func (s *solver) release() {
 	sc := s.scratch
-	s.scratch, s.alpha, s.grad, s.active = nil, nil, nil, nil
+	// Zero the whole solver (it lives inside the pooled scratch) so pooled
+	// entries retain no problem, kernel cache, or config references.
+	*s = solver{}
 	scratchPool.Put(sc)
 }
 
@@ -559,9 +635,9 @@ func (s *solver) reconstructGradient(targets []int) {
 }
 
 // selectPair returns the maximal violating pair over the active set and the
-// current violation. The up-set/low-set membership tests
-// ((y>0 && a<C)||(y<0 && a>0) and its mirror) are inlined so the scan reads
-// each slot exactly once. The steady-state iterations get their pair from
+// current violation. The up-set/low-set membership tests come from the
+// cached upPen/lowPen penalties, so the scan reads each slot exactly once
+// and carries no label or membership branch. The steady-state iterations get their pair from
 // the fused scan inside step instead; this standalone scan serves the first
 // iteration and every point where the gradient was rebuilt wholesale (warm
 // start, reactivation of shrunk variables). Both scans visit the same
@@ -571,38 +647,34 @@ func (s *solver) selectPair() (i, j int, violation float64) {
 	maxUp := math.Inf(-1)
 	minLow := math.Inf(1)
 	i, j = -1, -1
-	labels, grad, alpha, costs := s.p.Labels, s.grad, s.alpha, s.p.C
-	scan := func(t int) {
-		y := labels[t]
-		v := -y * grad[t]
-		a := alpha[t]
-		if y > 0 {
-			if a < costs[t] && v > maxUp {
-				maxUp = v
-				i = t
-			}
-			if a > 0 && v < minLow {
-				minLow = v
-				j = t
-			}
-		} else {
-			if a > 0 && v > maxUp {
-				maxUp = v
-				i = t
-			}
-			if a < costs[t] && v < minLow {
-				minLow = v
-				j = t
-			}
-		}
-	}
+	labels, grad := s.p.Labels, s.grad
+	upPen, lowPen := s.upPen, s.lowPen
+	// The scan body is written out for both iteration shapes (a closure
+	// here does not inline and its call overhead dominates the few flops
+	// per element).
 	if s.shrunk {
 		for _, t := range s.active {
-			scan(t)
+			v := -labels[t] * grad[t]
+			if vu := v + upPen[t]; vu > maxUp {
+				maxUp = vu
+				i = t
+			}
+			if vl := v + lowPen[t]; vl < minLow {
+				minLow = vl
+				j = t
+			}
 		}
 	} else {
-		for t := range labels {
-			scan(t)
+		for t, g := range grad {
+			v := -labels[t] * g
+			if vu := v + upPen[t]; vu > maxUp {
+				maxUp = vu
+				i = t
+			}
+			if vl := v + lowPen[t]; vl < minLow {
+				minLow = vl
+				j = t
+			}
 		}
 	}
 	if i < 0 || j < 0 {
@@ -623,19 +695,14 @@ func (s *solver) shrink() {
 	maxUp := math.Inf(-1)
 	minLow := math.Inf(1)
 	labels, grad, alpha, costs := s.p.Labels, s.grad, s.alpha, s.p.C
+	upPen, lowPen := s.upPen, s.lowPen
 	for _, t := range s.active {
-		y := labels[t]
-		v := -y * grad[t]
-		a := alpha[t]
-		if (y > 0 && a < costs[t]) || (y < 0 && a > 0) {
-			if v > maxUp {
-				maxUp = v
-			}
+		v := -labels[t] * grad[t]
+		if vu := v + upPen[t]; vu > maxUp {
+			maxUp = vu
 		}
-		if (y > 0 && a > 0) || (y < 0 && a < costs[t]) {
-			if v < minLow {
-				minLow = v
-			}
+		if vl := v + lowPen[t]; vl < minLow {
+			minLow = vl
 		}
 	}
 	kept := s.active[:0]
@@ -825,6 +892,30 @@ func (s *solver) step(i, j int) (ni, nj int, violation float64, ok bool) {
 		}
 	}
 
+	// refreshElig for i and j, manually inlined: the function exceeds the
+	// compiler's inlining budget, and these two per-iteration calls are the
+	// hot ones (the constructor loop keeps the named function).
+	for _, t := range [2]int{i, j} {
+		a := s.alpha[t]
+		var up, low bool
+		if s.p.Labels[t] > 0 {
+			up = a < s.p.C[t]
+			low = a > 0
+		} else {
+			up = a > 0
+			low = a < s.p.C[t]
+		}
+		if up {
+			s.upPen[t] = 0
+		} else {
+			s.upPen[t] = math.Inf(-1)
+		}
+		if low {
+			s.lowPen[t] = 0
+		} else {
+			s.lowPen[t] = math.Inf(1)
+		}
+	}
 	dAi := s.alpha[i] - oldAi
 	dAj := s.alpha[j] - oldAj
 	if dAi == 0 && dAj == 0 {
@@ -852,43 +943,52 @@ func (s *solver) step(i, j int) (ni, nj int, violation float64, ok bool) {
 	ydAj := yj * dAj
 	grad := s.grad
 	labels := s.p.Labels
-	alpha, costs := s.alpha, s.p.C
+	upPen, lowPen := s.upPen, s.lowPen
 	maxUp := math.Inf(-1)
 	minLow := math.Inf(1)
 	ni, nj = -1, -1
-	update := func(t int) {
-		g := grad[t] + labels[t]*(ydAi*rowI[t]+ydAj*rowJ[t])
-		grad[t] = g
-		y := labels[t]
-		v := -y * g
-		a := alpha[t]
-		if y > 0 {
-			if a < costs[t] && v > maxUp {
-				maxUp = v
-				ni = t
-			}
-			if a > 0 && v < minLow {
-				minLow = v
-				nj = t
-			}
-		} else {
-			if a > 0 && v > maxUp {
-				maxUp = v
-				ni = t
-			}
-			if a < costs[t] && v < minLow {
-				minLow = v
-				nj = t
-			}
-		}
-	}
+	// The fused update+selection body is written out for both iteration
+	// shapes: a closure here is not inlined by the compiler, and its call
+	// overhead per element outweighs the arithmetic. The membership tests
+	// add the upPen/lowPen penalties (refreshed above for i and j,
+	// unchanged for everything else), selecting exactly the pair the
+	// predicate form would while keeping the per-element branches on the
+	// rarely-taken new-extreme comparisons only.
 	if s.shrunk {
 		for _, t := range s.active {
-			update(t)
+			g := grad[t] + labels[t]*(ydAi*rowI[t]+ydAj*rowJ[t])
+			grad[t] = g
+			v := -labels[t] * g
+			if vu := v + upPen[t]; vu > maxUp {
+				maxUp = vu
+				ni = t
+			}
+			if vl := v + lowPen[t]; vl < minLow {
+				minLow = vl
+				nj = t
+			}
 		}
 	} else {
+		// Reslicing everything to the gradient length lets the compiler
+		// drop the per-element bounds checks (the kernel rows come from
+		// the cache, so their length is opaque here).
+		rowI := rowI[:len(grad)]
+		rowJ := rowJ[:len(grad)]
+		labels := labels[:len(grad)]
+		upPen := upPen[:len(grad)]
+		lowPen := lowPen[:len(grad)]
 		for t := range grad {
-			update(t)
+			g := grad[t] + labels[t]*(ydAi*rowI[t]+ydAj*rowJ[t])
+			grad[t] = g
+			v := -labels[t] * g
+			if vu := v + upPen[t]; vu > maxUp {
+				maxUp = vu
+				ni = t
+			}
+			if vl := v + lowPen[t]; vl < minLow {
+				minLow = vl
+				nj = t
+			}
 		}
 	}
 	if ni < 0 || nj < 0 {
