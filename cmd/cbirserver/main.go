@@ -20,10 +20,17 @@
 // bound each request (an expired or disconnected request stops its
 // collection scan and SVM training mid-way), and -max-inflight-query /
 // -max-inflight-train / -max-inflight-ingest cap concurrent work per
-// request class — excess requests queue briefly and are then shed with
-// 503 + Retry-After. The listener itself runs with fixed connection
+// request class — excess requests queue up to -queue-wait and are then
+// shed with 503 + Retry-After (a negative -queue-wait sheds immediately
+// without queueing). The listener itself runs with fixed connection
 // hygiene timeouts (10s read-header, 2m read, 2m idle). See the server
 // package documentation for the full resilience semantics.
+//
+// The server exports its operational state twice: human-readable under
+// GET /api/status, and as Prometheus text exposition under GET /metrics —
+// per-endpoint request latency histograms and status-code counters plus
+// the admission, engine, index and journal gauges, all reading the same
+// counters as /api/status. /metrics stays scrapable during shutdown.
 //
 // With -ann, initial queries prune the collection through an IVF-style
 // centroid index (-ann-clusters cells, -ann-nprobe probed per query) and
@@ -89,6 +96,7 @@ func main() {
 		maxQuery     = flag.Int("max-inflight-query", 0, "concurrent query requests admitted; beyond it requests queue briefly and then shed with 503 (0 = unlimited)")
 		maxTrain     = flag.Int("max-inflight-train", 0, "concurrent refine requests admitted (0 = unlimited)")
 		maxIngest    = flag.Int("max-inflight-ingest", 0, "concurrent ingest/commit requests admitted (0 = unlimited)")
+		queueWait    = flag.Duration("queue-wait", server.DefaultQueueWait, "how long an over-limit request waits for an admission slot before it is shed with 503; negative sheds immediately without queueing")
 		annEnable    = flag.Bool("ann", false, "prune initial queries with an IVF-style centroid index (exact re-rank; refinement and small collections stay exhaustive)")
 		annClusters  = flag.Int("ann-clusters", 0, "k-means cells of the candidate index (0 = sqrt of the collection size)")
 		annNProbe    = flag.Int("ann-nprobe", 0, "nearest cells scanned per pruned query; higher = better recall, slower (0 = clusters/4)")
@@ -188,6 +196,7 @@ func main() {
 		MaxInflightQuery:  *maxQuery,
 		MaxInflightTrain:  *maxTrain,
 		MaxInflightIngest: *maxIngest,
+		QueueWait:         *queueWait,
 	}
 	if journal != nil {
 		cfg.Durability = durabilityStatus(journal, snapshotter, replay)

@@ -1,0 +1,453 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lrfcsvm/internal/feedbacklog"
+	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/metrics"
+	"lrfcsvm/internal/retrieval"
+	"lrfcsvm/internal/server"
+)
+
+// This file is the serving-path load test of lrfbench (-loadtest): a
+// closed-loop driver against the in-process cbirserver handler. N simulated
+// users each run the full relevance-feedback loop — initial query, start a
+// session, judge the page, synchronous refine, commit — with periodic
+// ingestion bursts mixed in, exactly the traffic the HTTP API serves in
+// production. The driver measures per-endpoint latency percentiles from the
+// raw samples (no histogram approximation), counts every status code, pulls
+// the shed counters from /api/status, validates the final /metrics scrape,
+// writes the machine-readable BENCH_load.json, and exits non-zero when an
+// SLO floor is violated so CI catches serving-path regressions.
+
+// SLO floors. These are deliberately generous — they exist to catch
+// catastrophic regressions (an accidental O(n^2) in the serving path, a
+// lock held across training) on shared CI hosts, not to benchmark the
+// machine. Violations fail the run.
+const (
+	// sloErrorBudget: no request may fail with a status >= 400 other than
+	// 429/503 (load shedding is expected behavior under a closed loop
+	// saturating the admission limits, and is reported separately).
+	sloQueryP99  = 2 * time.Second
+	sloRefineP99 = 30 * time.Second
+	sloOtherP99  = 2 * time.Second
+)
+
+// loadLevel is one concurrency level's results in BENCH_load.json.
+type loadLevel struct {
+	Users           int                 `json:"users"`
+	IterationsPer   int                 `json:"iterations_per_user"`
+	DurationSeconds float64             `json:"duration_seconds"`
+	Requests        int                 `json:"requests"`
+	ThroughputRPS   float64             `json:"throughput_rps"`
+	Codes           map[string]int      `json:"codes"`
+	Shed            map[string]int64    `json:"shed"`
+	Errors          int                 `json:"errors"`
+	Endpoints       []loadEndpointStats `json:"endpoints"`
+	SLOViolations   []string            `json:"slo_violations"`
+}
+
+// loadEndpointStats is one endpoint's latency summary at one level.
+type loadEndpointStats struct {
+	Endpoint string  `json:"endpoint"`
+	Count    int     `json:"count"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// loadReport is the BENCH_load.json document.
+type loadReport struct {
+	Profile    string      `json:"profile"`
+	Images     int         `json:"images"`
+	Dim        int         `json:"dim"`
+	GoVersion  string      `json:"go_version"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Levels     []loadLevel `json:"levels"`
+}
+
+// loadSample is one completed request as the driver saw it.
+type loadSample struct {
+	endpoint string
+	status   int
+	dur      time.Duration
+}
+
+// loadUserState is one simulated user's per-iteration scratch.
+type loadUser struct {
+	id      int
+	query   int
+	samples []loadSample
+}
+
+// runLoadTest drives the closed loop at each requested concurrency level
+// against a fresh server, writes outPath and returns an error when any
+// level violated an SLO floor.
+func runLoadTest(profile, usersSpec string, iters int, seed uint64, outPath string) error {
+	levels, err := parseUsersSpec(usersSpec)
+	if err != nil {
+		return err
+	}
+	if iters <= 0 {
+		if profile == "ci" {
+			iters = 3
+		} else {
+			iters = 10
+		}
+	}
+	// Collection scale by profile: big enough that a query scans multiple
+	// shards, small enough that the loadtest is about the serving path,
+	// not dataset preparation.
+	categories, perCategory, dim := 10, 40, 16
+	if profile == "ci" {
+		categories, perCategory, dim = 5, 20, 8
+	}
+	visual, labels := loadCollection(categories, perCategory, dim, seed)
+	fmt.Printf("loadtest: %d images (dim %d), levels %v, %d iterations/user\n",
+		len(visual), dim, levels, iters)
+
+	report := loadReport{
+		Profile:    profile,
+		Images:     len(visual),
+		Dim:        dim,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	var violations int
+	for _, users := range levels {
+		level, err := runLoadLevel(visual, labels, seed, users, iters)
+		if err != nil {
+			return err
+		}
+		violations += len(level.SLOViolations)
+		report.Levels = append(report.Levels, level)
+		printLoadLevel(level)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	if violations > 0 {
+		return fmt.Errorf("%d SLO violation(s); see the slo_violations sections of %s", violations, outPath)
+	}
+	return nil
+}
+
+// runLoadLevel builds a fresh engine + server and runs one concurrency
+// level to completion.
+func runLoadLevel(visual []linalg.Vector, labels []int, seed uint64, users, iters int) (loadLevel, error) {
+	log, err := feedbacklog.Simulate(visual, labels, feedbacklog.SimulatorConfig{
+		Sessions: 40, ReturnedPerSession: 10, NoiseRate: 0.05, ExplorationFraction: 0.3, Seed: seed,
+	})
+	if err != nil {
+		return loadLevel{}, err
+	}
+	engine, err := retrieval.NewEngine(visual, log, retrieval.Options{ShardSize: 64})
+	if err != nil {
+		return loadLevel{}, err
+	}
+	defer engine.Close()
+	// Admission limits are fixed constants, not GOMAXPROCS-derived, so the
+	// shed counts in the report compare across machines: 8 users fit the
+	// train class (4 slots + 4 queue slots serving staggered arrivals), 32
+	// and 128 saturate it — the higher levels measure the load-shedding
+	// behavior, not just clean latencies.
+	// MaxSessions covers every session a level can create: a user whose
+	// refine was shed abandons its session, and an LRU eviction racing a
+	// live session would show up as spurious 404s.
+	s := server.NewWithConfig(engine, server.Config{
+		MaxInflightQuery:  16,
+		MaxInflightTrain:  4,
+		MaxInflightIngest: 2,
+		QueueWait:         2 * time.Second,
+		MaxSessions:       users*iters + users,
+	})
+	defer s.Close()
+	handler := s.Handler()
+
+	start := time.Now()
+	workers := make([]*loadUser, users)
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		workers[u] = &loadUser{id: u, query: u % len(visual)}
+		wg.Add(1)
+		go func(lu *loadUser) {
+			defer wg.Done()
+			runLoadUser(lu, handler, visual, labels, iters)
+		}(workers[u])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var samples []loadSample
+	for _, lu := range workers {
+		samples = append(samples, lu.samples...)
+	}
+	level := summarizeLoadLevel(users, iters, elapsed, samples)
+
+	// The server's own accounting must survive the run: the final /metrics
+	// scrape parses as valid exposition and /api/status supplies the shed
+	// counters the report records.
+	text, err := scrapeLoadMetrics(handler)
+	if err != nil {
+		return level, err
+	}
+	if err := metrics.ValidateExposition(text); err != nil {
+		return level, fmt.Errorf("loadtest: /metrics exposition invalid after %d-user run: %v", users, err)
+	}
+	status, err := scrapeLoadStatus(handler)
+	if err != nil {
+		return level, err
+	}
+	level.Shed = map[string]int64{
+		"query":  status.Admission.Query.Shed,
+		"train":  status.Admission.Train.Shed,
+		"ingest": status.Admission.Ingest.Shed,
+	}
+	return level, nil
+}
+
+// runLoadUser is one simulated user's closed loop: each iteration runs the
+// full feedback cycle; every fourth iteration of every fourth user posts an
+// ingestion burst first, so collection growth and epoch bumps happen under
+// load like they do in production.
+func runLoadUser(lu *loadUser, handler http.Handler, visual []linalg.Vector, labels []int, iters int) {
+	dim := len(visual[0])
+	for i := 0; i < iters; i++ {
+		if lu.id%4 == 0 && i%4 == 3 {
+			burst := make([][]float64, 4)
+			for b := range burst {
+				v := make([]float64, dim)
+				src := visual[(lu.id+b)%len(visual)]
+				for d := range v {
+					v[d] = src[d] + 0.01*float64(b+1)
+				}
+				burst[b] = v
+			}
+			lu.do(handler, "images", http.MethodPost, "/api/images", server.AddImagesRequest{Images: burst}, nil)
+		}
+
+		var q server.QueryResponse
+		if st := lu.do(handler, "query", http.MethodGet,
+			fmt.Sprintf("/api/query?image=%d&k=8", lu.query), nil, &q); st != http.StatusOK {
+			continue // shed or shutting down: back to the top of the loop
+		}
+		var sess server.StartSessionResponse
+		if st := lu.do(handler, "sessions", http.MethodPost, "/api/sessions",
+			server.StartSessionRequest{Query: lu.query}, &sess); st != http.StatusOK {
+			continue
+		}
+		judge := server.JudgeRequest{SessionID: sess.SessionID}
+		for _, r := range q.Results {
+			judge.Judgments = append(judge.Judgments, struct {
+				Image    int  `json:"image"`
+				Relevant bool `json:"relevant"`
+			}{Image: r.Image, Relevant: r.Image < len(labels) && labels[r.Image] == labels[lu.query]})
+		}
+		if st := lu.do(handler, "judge", http.MethodPost, "/api/sessions/judge", judge, nil); st != http.StatusOK {
+			continue
+		}
+		if st := lu.do(handler, "refine", http.MethodPost, "/api/sessions/refine",
+			server.RefineRequest{SessionID: sess.SessionID, Scheme: "lrf-csvm", K: 8}, nil); st != http.StatusOK {
+			continue
+		}
+		lu.do(handler, "commit", http.MethodPost, "/api/sessions/commit",
+			server.CommitRequest{SessionID: sess.SessionID}, nil)
+	}
+}
+
+// do issues one in-process request, records the sample and decodes the
+// response into out when the request succeeded.
+func (lu *loadUser) do(handler http.Handler, endpoint, method, target string, body, out interface{}) int {
+	var reader io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			panic(err) // driver bug, not a measurement
+		}
+		reader = bytes.NewReader(buf)
+	}
+	req := httptest.NewRequest(method, target, reader)
+	rr := httptest.NewRecorder()
+	start := time.Now()
+	handler.ServeHTTP(rr, req)
+	lu.samples = append(lu.samples, loadSample{endpoint: endpoint, status: rr.Code, dur: time.Since(start)})
+	if rr.Code == http.StatusOK && out != nil {
+		if err := json.Unmarshal(rr.Body.Bytes(), out); err != nil {
+			panic(err)
+		}
+	}
+	return rr.Code
+}
+
+// summarizeLoadLevel turns the raw samples into the level's report section:
+// exact percentiles per endpoint, status-code counts, the error tally and
+// the SLO verdicts.
+func summarizeLoadLevel(users, iters int, elapsed time.Duration, samples []loadSample) loadLevel {
+	level := loadLevel{
+		Users:           users,
+		IterationsPer:   iters,
+		DurationSeconds: elapsed.Seconds(),
+		Requests:        len(samples),
+		Codes:           map[string]int{},
+	}
+	if elapsed > 0 {
+		level.ThroughputRPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	byEndpoint := map[string][]float64{}
+	for _, s := range samples {
+		level.Codes[strconv.Itoa(s.status)]++
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.dur.Seconds()*1000)
+		if s.status >= 400 && s.status != http.StatusServiceUnavailable && s.status != http.StatusTooManyRequests {
+			level.Errors++
+		}
+	}
+	if level.Errors > 0 {
+		level.SLOViolations = append(level.SLOViolations,
+			fmt.Sprintf("%d request(s) failed with a non-shedding error status", level.Errors))
+	}
+	endpoints := make([]string, 0, len(byEndpoint))
+	for ep := range byEndpoint {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		ms := byEndpoint[ep]
+		sort.Float64s(ms)
+		stats := loadEndpointStats{
+			Endpoint: ep,
+			Count:    len(ms),
+			P50Ms:    exactPercentile(ms, 0.50),
+			P90Ms:    exactPercentile(ms, 0.90),
+			P99Ms:    exactPercentile(ms, 0.99),
+			MaxMs:    ms[len(ms)-1],
+		}
+		level.Endpoints = append(level.Endpoints, stats)
+		floor := sloOtherP99
+		switch ep {
+		case "query":
+			floor = sloQueryP99
+		case "refine":
+			floor = sloRefineP99
+		}
+		if stats.P99Ms > floor.Seconds()*1000 {
+			level.SLOViolations = append(level.SLOViolations,
+				fmt.Sprintf("%s p99 %.1fms exceeds the %v floor", ep, stats.P99Ms, floor))
+		}
+	}
+	return level
+}
+
+// exactPercentile reads the q-th percentile from sorted samples (nearest
+// rank, the convention exact driver-side percentiles usually use).
+func exactPercentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func scrapeLoadMetrics(handler http.Handler) (string, error) {
+	rr := httptest.NewRecorder()
+	handler.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rr.Code != http.StatusOK {
+		return "", fmt.Errorf("loadtest: GET /metrics: status %d", rr.Code)
+	}
+	return rr.Body.String(), nil
+}
+
+func scrapeLoadStatus(handler http.Handler) (server.StatusResponse, error) {
+	var status server.StatusResponse
+	rr := httptest.NewRecorder()
+	handler.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/api/status", nil))
+	if rr.Code != http.StatusOK {
+		return status, fmt.Errorf("loadtest: GET /api/status: status %d", rr.Code)
+	}
+	err := json.Unmarshal(rr.Body.Bytes(), &status)
+	return status, err
+}
+
+func printLoadLevel(level loadLevel) {
+	fmt.Printf("\n%d users x %d iterations: %d requests in %.2fs (%.1f req/s), shed q/t/i %d/%d/%d\n",
+		level.Users, level.IterationsPer, level.Requests, level.DurationSeconds, level.ThroughputRPS,
+		level.Shed["query"], level.Shed["train"], level.Shed["ingest"])
+	fmt.Printf("  %-10s %8s %10s %10s %10s %10s\n", "endpoint", "count", "p50", "p90", "p99", "max")
+	for _, ep := range level.Endpoints {
+		fmt.Printf("  %-10s %8d %9.2fms %9.2fms %9.2fms %9.2fms\n",
+			ep.Endpoint, ep.Count, ep.P50Ms, ep.P90Ms, ep.P99Ms, ep.MaxMs)
+	}
+	for _, v := range level.SLOViolations {
+		fmt.Printf("  SLO VIOLATION: %s\n", v)
+	}
+}
+
+// parseUsersSpec parses the -loadusers flag ("8,32,128").
+func parseUsersSpec(spec string) ([]int, error) {
+	var levels []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -loadusers level %q (want a positive integer)", part)
+		}
+		levels = append(levels, n)
+	}
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("-loadusers %q names no levels", spec)
+	}
+	return levels, nil
+}
+
+// loadCollection builds the clustered synthetic collection the loadtest
+// serves: categories x perCategory Gaussian clusters in dim dimensions,
+// deterministic for a fixed seed.
+func loadCollection(categories, perCategory, dim int, seed uint64) ([]linalg.Vector, []int) {
+	rng := linalg.NewRNG(seed)
+	var visual []linalg.Vector
+	var labels []int
+	for c := 0; c < categories; c++ {
+		center := make(linalg.Vector, dim)
+		for d := range center {
+			center[d] = rng.Normal(0, 4)
+		}
+		for i := 0; i < perCategory; i++ {
+			v := make(linalg.Vector, dim)
+			for d := range v {
+				v[d] = center[d] + rng.Normal(0, 0.8)
+			}
+			visual = append(visual, v)
+			labels = append(labels, c)
+		}
+	}
+	return visual, labels
+}

@@ -36,9 +36,26 @@ func main() {
 		ablation    = flag.String("ablation", "", "run an ablation instead of the main table: selection, rho, delta, unlabeled, logkernel")
 		benchquery  = flag.Bool("benchquery", false, "benchmark the query hot path (-benchmem statistics) instead of the main table")
 		benchtrain  = flag.Bool("benchtrain", false, "benchmark the feedback-training path (core.TrainCoupled lanes) instead of the main table")
-		benchout    = flag.String("benchout", "", "output path of the machine-readable benchmark report (default BENCH_query.json / BENCH_train.json by mode)")
+		benchout    = flag.String("benchout", "", "output path of the machine-readable benchmark report (default BENCH_query.json / BENCH_train.json / BENCH_load.json by mode)")
+		loadtest    = flag.Bool("loadtest", false, "run the closed-loop serving-path load test against the in-process HTTP handler, written to BENCH_load.json; exits non-zero on SLO violation")
+		loadusers   = flag.String("loadusers", "8,32,128", "comma-separated concurrency levels of -loadtest")
+		loaditers   = flag.Int("loaditers", 0, "closed-loop iterations per simulated user in -loadtest (0 = profile default: 10 full, 3 ci)")
 	)
 	flag.Parse()
+
+	// The load test prepares its own synthetic collection — no need for the
+	// full evaluation dataset below.
+	if *loadtest {
+		out := *benchout
+		if out == "" {
+			out = "BENCH_load.json"
+		}
+		if err := runLoadTest(*profile, *loadusers, *loaditers, *seed, out); err != nil {
+			fmt.Fprintln(os.Stderr, "lrfbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg, name, figure, err := buildConfig(*datasetFlag, *profile, *seed)
 	if err != nil {

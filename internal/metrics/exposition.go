@@ -1,0 +1,162 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format version this package renders.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format: a # HELP and # TYPE line per family, then one sample
+// line per series (counters and gauges), or the _bucket/_sum/_count
+// triplet per series for histograms, with bucket counts cumulative and the
+// mandatory le="+Inf" bucket equal to _count. Families appear in
+// registration order and series in sorted label order, so the output is
+// deterministic and diffable.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	for _, name := range r.order {
+		f := r.families[name]
+		if len(f.series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		ordered := append([]*series(nil), f.series...)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].signature < ordered[j].signature })
+		for _, s := range ordered {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w *bufio.Writer, f *family, s *series) {
+	switch {
+	case s.counter != nil:
+		writeSample(w, f.name, s.labels, nil, formatInt(s.counter.Value()))
+	case s.counterFn != nil:
+		writeSample(w, f.name, s.labels, nil, formatInt(s.counterFn()))
+	case s.gauge != nil:
+		writeSample(w, f.name, s.labels, nil, formatFloat(s.gauge.Value()))
+	case s.gaugeFn != nil:
+		writeSample(w, f.name, s.labels, nil, formatFloat(s.gaugeFn()))
+	case s.hist != nil:
+		snap := s.hist.Snapshot()
+		// Render the bucket counts cumulatively and pin _count to the same
+		// cumulative total: a concurrent Observe between the bucket reads
+		// and the total read must not make the mandatory
+		// +Inf-equals-_count invariant flicker in scraped output.
+		var cum uint64
+		for i, c := range snap.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(snap.Bounds) {
+				le = formatFloat(snap.Bounds[i])
+			}
+			writeSample(w, f.name+"_bucket", s.labels, &Label{Name: "le", Value: le}, formatUint(cum))
+		}
+		writeSample(w, f.name+"_sum", s.labels, nil, formatFloat(snap.Sum))
+		writeSample(w, f.name+"_count", s.labels, nil, formatUint(cum))
+	}
+}
+
+// writeSample writes one line: name{labels,extra} value. extra (the
+// histogram le label) is appended after the series labels.
+func writeSample(w *bufio.Writer, name string, labels Labels, extra *Label, value string) {
+	w.WriteString(name)
+	if len(labels) > 0 || extra != nil {
+		w.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(w, `%s="%s"`, l.Name, escapeLabelValue(l.Value))
+		}
+		if extra != nil {
+			if !first {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, `%s="%s"`, extra.Name, escapeLabelValue(extra.Value))
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatInt(v int64) string   { return strconv.FormatInt(v, 10) }
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// mustValidName panics unless name matches the metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Registration-time validation keeps a typo'd
+// name from producing an exposition scrapers reject wholesale.
+func mustValidName(name string) {
+	if !validName(name, true) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+}
+
+// mustValidLabelName panics unless name matches [a-zA-Z_][a-zA-Z0-9_]* and
+// is not a reserved double-underscore name.
+func mustValidLabelName(name string) {
+	if !validName(name, false) || strings.HasPrefix(name, "__") {
+		panic(fmt.Sprintf("metrics: invalid label name %q", name))
+	}
+}
+
+// validName reports whether s matches the exposition name grammar; colons
+// are legal in metric names only.
+func validName(s string, allowColon bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':' && allowColon:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

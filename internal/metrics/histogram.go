@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets is the default request-latency bucket layout, in
+// seconds: sub-millisecond resolution where the fast paths live (the
+// Euclidean query path ranks a CI-scale collection in microseconds), then
+// roughly 2.5x steps out to ten seconds, past every configured per-class
+// timeout. Seventeen buckets keep a histogram's footprint at a few hundred
+// bytes while giving percentile interpolation a bucket width under 2.5x
+// everywhere.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed buckets. Observe is lock-free:
+// one atomic add into the bucket, one into the total, and a CAS loop for the
+// float sum — no locks, no allocation, safe for any number of concurrent
+// observers. Reading happens through Snapshot, which is concurrency-safe but
+// only approximately consistent: an Observe racing the snapshot may appear
+// in the bucket counts but not yet in the sum (or vice versa). That is the
+// standard trade for a lock-free write path and is harmless for monitoring.
+//
+// Observations are assumed non-negative (latencies); percentile
+// interpolation treats the first bucket as spanning [0, bounds[0]].
+type Histogram struct {
+	// bounds are the strictly increasing, finite bucket upper bounds; an
+	// observation v lands in the first bucket with v <= bound (upper bounds
+	// are inclusive, matching the exposition's le semantics). counts has
+	// one extra slot for the +Inf overflow bucket.
+	bounds []float64
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	total  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given upper bounds; nil or empty
+// selects DefLatencyBuckets. Bounds must be finite and strictly increasing
+// (the constructor panics otherwise — a malformed layout is a programmer
+// error that would silently misbucket every observation).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	bounds = append([]float64(nil), bounds...)
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("metrics: histogram bounds must be finite")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound admits v; beyond the last finite bound
+	// the observation overflows into +Inf.
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state. Counts
+// is per-bucket (not cumulative) with the trailing +Inf bucket last.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Count:  h.total.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket holding the target rank, the same estimator Prometheus's
+// histogram_quantile uses: exact at bucket boundaries, linear between them.
+// Ranks landing in the +Inf overflow bucket report the largest finite bound
+// (the estimator cannot see past it). An empty histogram reports NaN.
+//
+// Quantile is monotone in q: p50 <= p90 <= p99 always holds on one
+// snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	// Sum the per-bucket counts rather than trusting s.Count: a concurrent
+	// Observe between the two atomic reads could leave Count one ahead of
+	// the buckets, and the rank walk below must terminate inside them.
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: no finite upper edge to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		return lower + (upper-lower)*((rank-prev)/float64(c))
+	}
+	// rank == 0 (q == 0 with observations): the smallest representable
+	// estimate is the lower edge of the first occupied bucket.
+	for i, c := range s.Counts {
+		if c != 0 {
+			if i == 0 {
+				return 0
+			}
+			return s.Bounds[i-1]
+		}
+	}
+	return math.NaN()
+}

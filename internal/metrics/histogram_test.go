@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaryExactness(t *testing.T) {
+	// Upper bounds are inclusive (le semantics): an observation exactly on a
+	// bound must land in that bound's bucket, and the next representable
+	// float must overflow into the following bucket.
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	h.Observe(0.001)
+	h.Observe(math.Nextafter(0.001, 2)) // just over the first bound
+	h.Observe(0.01)
+	h.Observe(1)
+	h.Observe(math.Nextafter(1, 2)) // past the last finite bound: +Inf
+	h.Observe(0)                    // zero lands in the first bucket
+
+	s := h.Snapshot()
+	want := []uint64{2, 2, 0, 1, 1}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(s.Counts), len(want))
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: got %d, want %d (counts=%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count: got %d, want 6", s.Count)
+	}
+	wantSum := 0.001 + math.Nextafter(0.001, 2) + 0.01 + 1 + math.Nextafter(1, 2)
+	if math.Abs(s.Sum-wantSum) > 1e-12 {
+		t.Errorf("sum: got %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	// Property: for any observation set, Quantile is monotone in q on a
+	// single snapshot — p50 <= p90 <= p99 must always hold.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		h := NewHistogram(nil)
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			// Log-uniform over ~[1e-5, 30s] to hit every bucket incl. +Inf.
+			v := math.Exp(rng.Float64()*15 - 11.5)
+			h.Observe(v)
+		}
+		s := h.Snapshot()
+		qs := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+		prev := math.Inf(-1)
+		for _, q := range qs {
+			v := s.Quantile(q)
+			if math.IsNaN(v) {
+				t.Fatalf("trial %d: Quantile(%v) = NaN with %d observations", trial, q, n)
+			}
+			if v < prev {
+				t.Fatalf("trial %d: Quantile not monotone: q=%v gave %v after %v", trial, q, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// 10 observations all in the (1, 2] bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	s := h.Snapshot()
+	// The estimator interpolates linearly across the bucket: the median of a
+	// bucket spanning (1, 2] is its midpoint.
+	if got := s.Quantile(0.5); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p50: got %v, want 1.5", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("p100: got %v, want upper bound 2", got)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if got := h.Snapshot().Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram: got %v, want NaN", got)
+	}
+	h.Observe(100) // only the +Inf bucket is occupied
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf bucket quantile: got %v, want largest finite bound 2", got)
+	}
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Errorf("q<0 must clamp to 0: got %v vs %v", got, s.Quantile(0))
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Errorf("q>1 must clamp to 1: got %v vs %v", got, s.Quantile(1))
+	}
+}
+
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	// Race test: hammer Observe from many goroutines while snapshots are
+	// taken concurrently. Run under -race this proves the lock-free write
+	// path is data-race free; the final snapshot must account for every
+	// observation exactly once.
+	h := NewHistogram(nil)
+	const writers = 8
+	const perWriter = 5000
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var cum uint64
+			for _, c := range s.Counts {
+				cum += c
+			}
+			// Mid-flight snapshots may be approximate, but per-bucket sums
+			// can never exceed the total number of observations.
+			if cum > writers*perWriter {
+				t.Errorf("snapshot over-counts: %d > %d", cum, writers*perWriter)
+				return
+			}
+			s.Quantile(0.99) // must not panic or loop on racy snapshots
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(seed int64) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(rng.Float64() * 2)
+			}
+		}(int64(w))
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("final count: got %d, want %d", s.Count, writers*perWriter)
+	}
+	var cum uint64
+	for _, c := range s.Counts {
+		cum += c
+	}
+	if cum != writers*perWriter {
+		t.Fatalf("final bucket sum: got %d, want %d", cum, writers*perWriter)
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	for _, bad := range [][]float64{
+		{1, 1},
+		{2, 1},
+		{math.NaN()},
+		{1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bad)
+				}
+			}()
+			NewHistogram(bad)
+		}()
+	}
+	// nil selects the default layout.
+	h := NewHistogram(nil)
+	if got, want := len(h.Snapshot().Bounds), len(DefLatencyBuckets); got != want {
+		t.Errorf("default bounds: got %d, want %d", got, want)
+	}
+}

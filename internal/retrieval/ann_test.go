@@ -2,6 +2,7 @@ package retrieval
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -174,8 +175,10 @@ func TestANNRebuildStopsOnClose(t *testing.T) {
 	}
 	e.Close()
 	rebuilds := e.ANNStats().Rebuilds
-	if _, err := e.AddImages(context.Background(), randomDescriptors(linalg.NewRNG(5), 30)); err != nil {
-		t.Fatal(err)
+	// A closed engine rejects the mutation at admission (so there is nothing
+	// to fold into the index) and must not rebuild.
+	if _, err := e.AddImages(context.Background(), randomDescriptors(linalg.NewRNG(5), 30)); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("AddImages after Close = %v, want ErrEngineClosed", err)
 	}
 	time.Sleep(20 * time.Millisecond)
 	if got := e.ANNStats().Rebuilds; got != rebuilds {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -162,6 +163,82 @@ func TestEngineCloseDrainsQueuedRounds(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// After Close, synchronous queries, refinements and mutations all surface
+// ErrEngineClosed — never context.Canceled: the caller did not hang up, the
+// engine went away, and the server maps the two to different status codes.
+// The caller's own cancellation still takes precedence when both hold.
+func TestEngineClosedSurfacesErrEngineClosed(t *testing.T) {
+	visual, labels, log := testCollection(t)
+	e, err := NewEngine(visual, log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := judgedSession(t, e, 0, labels)
+	e.Close()
+	if _, err := e.InitialQuery(context.Background(), 0, 8); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("InitialQuery after Close = %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.InitialQueryBatch(context.Background(), []int{0, 1}, 8); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("InitialQueryBatch after Close = %v, want ErrEngineClosed", err)
+	}
+	if _, err := s.Refine(context.Background(), SchemeLRFCSVM, 8); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Refine after Close = %v, want ErrEngineClosed", err)
+	}
+	if err := s.Commit(context.Background()); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Commit after Close = %v, want ErrEngineClosed", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.InitialQuery(ctx, 0, 8); !errors.Is(err, context.Canceled) {
+		t.Fatalf("InitialQuery with cancelled caller = %v, want the caller's context.Canceled", err)
+	}
+}
+
+// Close racing in-flight synchronous work (run with -race): every query and
+// refinement either completes normally or fails with ErrEngineClosed —
+// none may be misattributed to the caller as context.Canceled.
+func TestEngineCloseRacesInFlightQueries(t *testing.T) {
+	visual, labels, log := testCollection(t)
+	e, err := NewEngine(visual, log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sessions are judged up front: the race under test is Close vs the
+	// query/refine loop, not Close vs session setup.
+	sessions := make([]*Session, 4)
+	for w := range sessions {
+		sessions[w] = judgedSession(t, e, w, labels)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := sessions[w]
+			<-start
+			for i := 0; i < 50; i++ {
+				if _, err := e.InitialQuery(context.Background(), w, 8); err != nil {
+					if !errors.Is(err, ErrEngineClosed) {
+						t.Errorf("InitialQuery during Close = %v, want nil or ErrEngineClosed", err)
+					}
+					return
+				}
+				if _, err := s.Refine(context.Background(), SchemeLRFCSVM, 8); err != nil {
+					if !errors.Is(err, ErrEngineClosed) {
+						t.Errorf("Refine during Close = %v, want nil or ErrEngineClosed", err)
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(time.Millisecond)
+	e.Close()
+	wg.Wait()
 }
 
 // Commit and AddImages reject an already-cancelled context at admission,

@@ -156,6 +156,11 @@ type Engine struct {
 	// quantQueries counts initial queries served through the quantized
 	// approximate-scan lane (see quantized.go).
 	quantQueries atomic.Int64
+
+	// epochSeq counts published collection epochs since construction (the
+	// initial epoch is 1, each ingestion publishes the next); exposed via
+	// Epoch for the status and metrics surfaces.
+	epochSeq atomic.Int64
 }
 
 // NewEngine builds an engine over a collection of visual descriptors and an
@@ -192,6 +197,7 @@ func NewEngine(visual []linalg.Vector, log *feedbacklog.Log, opts Options) (*Eng
 	}
 	e := &Engine{opts: opts, log: log, trainSem: make(chan struct{}, opts.TrainWorkers)}
 	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
+	e.epochSeq.Store(1)
 	e.cur.Store(&epoch{visual: visual, batch: core.NewShardedCollectionBatch(visual, opts.ShardSize)})
 	// Build the initial candidate-generation index synchronously so a
 	// pruning-enabled engine never serves a cold start with a worse plan
@@ -207,8 +213,11 @@ func NewEngine(visual []linalg.Vector, log *feedbacklog.Log, opts Options) (*Eng
 // context every asynchronous refinement round runs under — queued rounds
 // fail before training, running rounds stop at the solver's or the scan's
 // next cancellation check — and makes further RefineAsync submissions fail
-// with ErrEngineClosed. Synchronous calls are governed by their own caller
-// contexts and are not interrupted. Close is idempotent.
+// with ErrEngineClosed. In-flight synchronous queries and refinements
+// observe the shutdown at their next cancellation check and return
+// ErrEngineClosed (not context.Canceled: the caller did not hang up, the
+// server did — the HTTP layer maps the two to different status codes), and
+// new mutations are rejected at admission. Close is idempotent.
 func (e *Engine) Close() {
 	if !e.closed.CompareAndSwap(false, true) {
 		return
@@ -218,6 +227,10 @@ func (e *Engine) Close() {
 
 // NumImages returns the current collection size.
 func (e *Engine) NumImages() int { return len(e.cur.Load().visual) }
+
+// Epoch returns the current collection epoch sequence number: 1 for the
+// initial collection, incremented by every published ingestion.
+func (e *Engine) Epoch() int64 { return e.epochSeq.Load() }
 
 // NumShards returns the number of collection shards of the current epoch.
 func (e *Engine) NumShards() int { return e.cur.Load().batch.VisualSet().NumShards() }
@@ -269,6 +282,9 @@ func (e *Engine) AddImages(ctx context.Context, descriptors []linalg.Vector) (in
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed.Load() {
+		return 0, ErrEngineClosed
+	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return 0, err
@@ -293,6 +309,7 @@ func (e *Engine) AddImages(ctx context.Context, descriptors []linalg.Vector) (in
 	visual := append(old.visual, added...)
 	e.log.GrowImages(len(added))
 	e.cur.Store(&epoch{visual: visual, batch: old.batch.Grow(visual)})
+	e.epochSeq.Add(1)
 	// The new images land in the unindexed tail of the pruned query path
 	// (always scanned exactly); fold them into the index in the background
 	// once the tail is worth it.
@@ -388,7 +405,7 @@ func (e *Engine) initialQuery(stdctx context.Context, ep *epoch, query, k int) (
 		Query:   query,
 		Workers: e.opts.Workers,
 		Batch:   ep.batch,
-		Ctx:     stdctx,
+		Ctx:     e.withCloseAware(stdctx),
 	}
 	// The pruned path considers only the probed cells' members plus the
 	// always-exact unindexed tail; every considered image is scored with
@@ -514,7 +531,7 @@ func (s *Session) Refine(stdctx context.Context, kind SchemeKind, k int) ([]Resu
 		Labeled:    labeled,
 		Workers:    s.engine.opts.Workers,
 		Batch:      ep.batch,
-		Ctx:        stdctx,
+		Ctx:        s.engine.withCloseAware(stdctx),
 	}
 	scheme, err := s.engine.scheme(kind)
 	if err != nil {
@@ -553,6 +570,9 @@ func (s *Session) Commit(ctx context.Context) error {
 	session := feedbacklog.Session{QueryImage: s.query, Judgments: judgments}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return err

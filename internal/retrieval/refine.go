@@ -12,8 +12,12 @@ import (
 // later — from request errors that will never succeed.
 var ErrTooManyRefines = errors.New("retrieval: too many pending refinements")
 
-// ErrEngineClosed is returned by Session.RefineAsync after Engine.Close:
-// the training pool is shutting down and accepts no new rounds.
+// ErrEngineClosed is returned after Engine.Close by everything the engine
+// still gets asked to do: new RefineAsync submissions and mutations are
+// rejected at admission, and in-flight queries and synchronous refinements
+// surface it from their next cancellation check. It is deliberately not
+// context.Canceled — the server must be able to tell "we are shutting
+// down" (503, retryable elsewhere) from "the client hung up" (499).
 var ErrEngineClosed = errors.New("retrieval: engine closed")
 
 // RefineState is the lifecycle state of one asynchronous refinement round.

@@ -47,12 +47,21 @@ type classLimiter struct {
 
 // newClassLimiter builds a limiter admitting maxInFlight concurrent
 // requests (<=0 disables limiting), queueing up to maxInFlight more for at
-// most queueWait each.
+// most queueWait each. A non-positive queueWait disables the wait queue
+// entirely: over-limit requests are shed immediately rather than armed on a
+// zero-duration timer (which would race the queue's own slot handoff and
+// shed requests that a real zero-wait policy should never have queued in
+// the first place).
 func newClassLimiter(maxInFlight int, queueWait time.Duration) *classLimiter {
+	if queueWait < 0 {
+		queueWait = 0
+	}
 	l := &classLimiter{queueWait: queueWait, now: time.Now}
 	if maxInFlight > 0 {
 		l.slots = make(chan struct{}, maxInFlight)
-		l.maxQueue = int64(maxInFlight)
+		if queueWait > 0 {
+			l.maxQueue = int64(maxInFlight)
+		}
 	}
 	return l
 }
@@ -84,6 +93,11 @@ func (l *classLimiter) acquire(ctx context.Context) (release func(), err error) 
 		return admit(), nil
 	default:
 	}
+	// Zero-wait policy: no queue to join, shed on a full class right away.
+	if l.queueWait <= 0 {
+		l.shed.Add(1)
+		return nil, errOverloaded
+	}
 	// Slow path: join the bounded wait queue. Count in before checking the
 	// bound so concurrent arrivals cannot both squeeze under it.
 	if l.queued.Add(1) > l.maxQueue {
@@ -105,18 +119,36 @@ func (l *classLimiter) acquire(ctx context.Context) (release func(), err error) 
 	}
 }
 
+// ewmaWarmupSamples is how many completions are averaged arithmetically
+// before the estimate switches to exponential weighting. Seeding the EWMA
+// with the first raw sample let one slow cold-start request (cache
+// compilation, first page-in) pin Retry-After hints high for the next ~8
+// waves; a running mean over the first few samples dilutes the outlier by
+// 1/n instead of carrying it at full weight.
+const ewmaWarmupSamples = 8
+
 // observe folds one completed request's service time into the drain-rate
-// EWMA (alpha = 1/8: smooth enough to ride out one slow outlier, fresh
-// enough to track a load shift within a few requests).
+// estimate: a running arithmetic mean for the first ewmaWarmupSamples
+// completions (cold-start outliers get averaged down, not adopted), then an
+// EWMA with alpha = 1/8 — smooth enough to ride out one slow outlier, fresh
+// enough to track a load shift within a few requests.
 func (l *classLimiter) observe(d time.Duration) {
-	l.completions.Add(1)
+	n := l.completions.Add(1)
 	if d < 1 {
 		d = 1 // keep "observed at least once" distinguishable from "never"
 	}
 	for {
 		old := l.svcEWMA.Load()
-		next := int64(d)
-		if old != 0 {
+		var next int64
+		switch {
+		case old == 0:
+			next = int64(d)
+		case n <= ewmaWarmupSamples:
+			// Running mean over the warm-up window. n is a lower bound on
+			// the samples already folded in; under concurrent completions
+			// this only shortens the warm-up, never corrupts the mean.
+			next = old + (int64(d)-old)/n
+		default:
 			next = old + (int64(d)-old)/8
 		}
 		if l.svcEWMA.CompareAndSwap(old, next) {

@@ -66,6 +66,85 @@ func TestRetryAfterTracksDrainRate(t *testing.T) {
 	}
 }
 
+// A non-positive queue wait must disable queueing outright: over-limit
+// requests shed immediately instead of arming a zero-duration timer whose
+// expiry races the slot handoff. (The zero-duration-timer bug shed queued
+// requests instantly while still reporting a wait queue in the limiter's
+// config.)
+func TestZeroQueueWaitShedsImmediately(t *testing.T) {
+	for _, wait := range []time.Duration{0, -time.Second} {
+		l := newClassLimiter(1, wait)
+		if l.maxQueue != 0 {
+			t.Fatalf("queueWait=%v: maxQueue = %d, want 0 (no queue)", wait, l.maxQueue)
+		}
+		release, err := l.acquire(context.Background())
+		if err != nil {
+			t.Fatalf("queueWait=%v: first acquire: %v", wait, err)
+		}
+		start := time.Now()
+		if _, err := l.acquire(context.Background()); err != errOverloaded {
+			t.Fatalf("queueWait=%v: over-limit acquire = %v, want errOverloaded", wait, err)
+		}
+		if took := time.Since(start); took > time.Second {
+			t.Fatalf("queueWait=%v: immediate shed took %v", wait, took)
+		}
+		if got := l.shed.Load(); got != 1 {
+			t.Fatalf("queueWait=%v: shed = %d, want 1", wait, got)
+		}
+		release()
+		// The slot freed: the class admits again.
+		if release, err = l.acquire(context.Background()); err != nil {
+			t.Fatalf("queueWait=%v: post-release acquire: %v", wait, err)
+		}
+		release()
+	}
+}
+
+// Config normalization: an untouched zero QueueWait selects the default (a
+// zero value accidentally inherited from an empty Config must not turn
+// every burst into a shed storm), while a negative value explicitly keeps
+// the shed-immediately policy.
+func TestQueueWaitConfigNormalization(t *testing.T) {
+	if got := (Config{}).withDefaults().QueueWait; got != DefaultQueueWait {
+		t.Errorf("zero QueueWait normalized to %v, want the %v default", got, DefaultQueueWait)
+	}
+	if got := (Config{QueueWait: -time.Second}).withDefaults().QueueWait; got >= 0 {
+		t.Errorf("negative QueueWait normalized to %v, want it kept negative (shed immediately)", got)
+	}
+	if got := (Config{QueueWait: 5 * time.Second}).withDefaults().QueueWait; got != 5*time.Second {
+		t.Errorf("explicit QueueWait normalized to %v, want it unchanged", got)
+	}
+}
+
+// One slow cold-start completion (cache compilation, first page-in) must
+// not pin the Retry-After hint high: the warm-up window averages the first
+// few samples, so the outlier is diluted by 1/n instead of seeding the EWMA
+// at full weight and decaying over ~8 waves.
+func TestEWMAWarmupDilutesColdStartOutlier(t *testing.T) {
+	clock := &fakeClock{}
+	l := newClassLimiter(1, 20*time.Second)
+	l.now = clock.Now
+
+	// The cold-start outlier: one 80-second request.
+	completeOne(t, l, clock, 80*time.Second)
+	// Steady state: the class actually drains in ~10ms.
+	for i := 1; i < ewmaWarmupSamples; i++ {
+		completeOne(t, l, clock, 10*time.Millisecond)
+	}
+	// Warm-up mean: (80s + 7 * 10ms) / 8 ≈ 10.01s → hint 11. The old
+	// first-sample seeding would still sit near 80 * (7/8)^7 ≈ 31s here.
+	if got := l.retryAfterSeconds(); got > 11 {
+		t.Fatalf("post-warm-up hint = %ds, want <= 11 (outlier diluted by the warm-up mean)", got)
+	}
+	// Past the warm-up window the EWMA keeps pulling toward the true rate.
+	for i := 0; i < 16; i++ {
+		completeOne(t, l, clock, 10*time.Millisecond)
+	}
+	if got := l.retryAfterSeconds(); got > 2 {
+		t.Fatalf("steady-state hint = %ds, want <= 2 after the outlier washes out", got)
+	}
+}
+
 // TestRetryAfterHeaderReflectsDrainRate drives the same property through the
 // HTTP stack: after real fast completions, a shed 503's Retry-After must be
 // the drain-derived 1s, not the 20-second wait budget the static hint would

@@ -21,6 +21,7 @@
 //	                                         token omitted read the latest
 //	                                         completed round of the session
 //	POST /api/sessions/commit             -> append the round to the log
+//	GET  /metrics                         -> Prometheus text exposition
 //
 // Asynchronous refinement keeps feedback rounds off the request path: the
 // training job runs on the retrieval engine's bounded pool, queries keep
@@ -61,7 +62,8 @@
 // Ingest; 0 = unlimited) with a bounded wait queue. A request arriving when
 // its class is saturated waits up to Config.QueueWait for a slot and is
 // then shed with 503 Service Unavailable + a Retry-After header — requests
-// already in flight complete normally. 503 therefore means "the whole class
+// already in flight complete normally. A negative QueueWait disables the
+// wait queue: saturation sheds immediately. 503 therefore means "the whole class
 // is overloaded, retry after backing off", while 429 Too Many Requests
 // (asynchronous refinement only) means "the training queue is full, poll an
 // earlier round or retry later". Clients should treat both as retryable
@@ -88,6 +90,7 @@ import (
 
 	"lrfcsvm/internal/kernel"
 	"lrfcsvm/internal/linalg"
+	"lrfcsvm/internal/metrics"
 	"lrfcsvm/internal/retrieval"
 )
 
@@ -144,7 +147,12 @@ type Config struct {
 	MaxInflightTrain  int
 	MaxInflightIngest int
 	// QueueWait is how long an over-limit request may wait for a slot
-	// before it is shed; <=0 selects 1 second.
+	// before it is shed. Zero selects the 1 second default; a negative
+	// value explicitly disables queueing, so over-limit requests are shed
+	// immediately (503 + Retry-After) instead of waiting. "Shed
+	// immediately" must be asked for — a zero value accidentally inherited
+	// from an empty Config must not silently turn every burst into a shed
+	// storm.
 	QueueWait time.Duration
 
 	// now overrides the clock; package tests use it to drive TTL eviction
@@ -185,7 +193,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxIngestImages <= 0 {
 		c.MaxIngestImages = DefaultMaxIngestImages
 	}
-	if c.QueueWait <= 0 {
+	if c.QueueWait == 0 {
 		c.QueueWait = DefaultQueueWait
 	}
 	if c.now == nil {
@@ -249,6 +257,11 @@ type Server struct {
 	limTrain  *classLimiter
 	limIngest *classLimiter
 
+	// metrics is the server's registry, rendered by GET /metrics; endpoints
+	// holds the per-route request instrumentation (see metrics.go).
+	metrics   *metrics.Registry
+	endpoints map[string]*endpointMetrics
+
 	closed    atomic.Bool
 	stop      chan struct{}
 	done      chan struct{}
@@ -274,9 +287,18 @@ func NewWithConfig(engine *retrieval.Engine, cfg Config) *Server {
 		limQuery:  newClassLimiter(cfg.MaxInflightQuery, cfg.QueueWait),
 		limTrain:  newClassLimiter(cfg.MaxInflightTrain, cfg.QueueWait),
 		limIngest: newClassLimiter(cfg.MaxInflightIngest, cfg.QueueWait),
+		metrics:   metrics.NewRegistry(),
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	s.endpoints = make(map[string]*endpointMetrics)
+	for _, name := range []string{
+		"status", "query", "query_batch", "images", "sessions", "judge",
+		"refine", "refine_status", "commit", "metrics",
+	} {
+		s.endpoints[name] = newEndpointMetrics(s.metrics, name)
+	}
+	s.registerStackMetrics()
 	go s.sweeper()
 	return s
 }
@@ -430,16 +452,21 @@ func (s *Server) numSessions() int {
 // never queued or shed.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/api/status", s.guard(s.handleStatus))
-	mux.HandleFunc("/api/query", s.guard(s.admit(s.limQuery, s.handleQuery)))
-	mux.HandleFunc("/api/query/batch", s.guard(s.admit(s.limQuery, s.handleQueryBatch)))
-	mux.HandleFunc("/api/images", s.guard(s.admit(s.limIngest, s.handleAddImages)))
-	mux.HandleFunc("/api/sessions", s.guard(s.handleStartSession))
-	mux.HandleFunc("/api/sessions/judge", s.guard(s.handleJudge))
-	mux.HandleFunc("/api/sessions/refine", s.guard(s.admit(s.limTrain, s.handleRefine)))
-	mux.HandleFunc("/api/refine", s.guard(s.admit(s.limTrain, s.handleRefine)))
-	mux.HandleFunc("/api/refine/status", s.guard(s.handleRefineStatus))
-	mux.HandleFunc("/api/sessions/commit", s.guard(s.admit(s.limIngest, s.handleCommit)))
+	// instrument sits outermost so shed and shutdown-rejected requests are
+	// recorded with the status the client actually saw.
+	mux.HandleFunc("/api/status", s.instrument(s.endpoints["status"], s.guard(s.handleStatus)))
+	mux.HandleFunc("/api/query", s.instrument(s.endpoints["query"], s.guard(s.admit(s.limQuery, s.handleQuery))))
+	mux.HandleFunc("/api/query/batch", s.instrument(s.endpoints["query_batch"], s.guard(s.admit(s.limQuery, s.handleQueryBatch))))
+	mux.HandleFunc("/api/images", s.instrument(s.endpoints["images"], s.guard(s.admit(s.limIngest, s.handleAddImages))))
+	mux.HandleFunc("/api/sessions", s.instrument(s.endpoints["sessions"], s.guard(s.handleStartSession)))
+	mux.HandleFunc("/api/sessions/judge", s.instrument(s.endpoints["judge"], s.guard(s.handleJudge)))
+	mux.HandleFunc("/api/sessions/refine", s.instrument(s.endpoints["refine"], s.guard(s.admit(s.limTrain, s.handleRefine))))
+	mux.HandleFunc("/api/refine", s.instrument(s.endpoints["refine"], s.guard(s.admit(s.limTrain, s.handleRefine))))
+	mux.HandleFunc("/api/refine/status", s.instrument(s.endpoints["refine_status"], s.guard(s.handleRefineStatus)))
+	mux.HandleFunc("/api/sessions/commit", s.instrument(s.endpoints["commit"], s.guard(s.admit(s.limIngest, s.handleCommit))))
+	// /metrics stays outside guard: the last scrape is how a shutdown is
+	// observed from the outside.
+	mux.HandleFunc("/metrics", s.instrument(s.endpoints["metrics"], s.handleMetrics))
 	return mux
 }
 
@@ -491,18 +518,44 @@ func (s *Server) requestCtx(r *http.Request, timeout time.Duration) (context.Con
 	return r.Context(), func() {}
 }
 
-// statusForError maps an engine error to an HTTP status: cancellation from
-// a disconnected client is 499, an expired per-endpoint deadline is 504,
-// and anything else is a plain request error.
-func statusForError(err error) int {
+// statusForError maps an engine error to an HTTP status: an expired
+// per-endpoint deadline is 504, an engine shut down mid-request is 503 (the
+// request was fine, this replica is going away — retry elsewhere), and
+// anything else is a plain request error.
+//
+// context.Canceled is only 499 (client closed request) when the request's
+// own context actually carries the cancellation: a cancellation that did
+// not come from the client is server-initiated (Engine.Close cancelling the
+// training base context, for instance) and blaming the client for it would
+// both lie in the access log and deny the client the 503 + Retry-After
+// signal it should act on.
+func statusForError(r *http.Request, err error) int {
 	switch {
+	case errors.Is(err, retrieval.ErrEngineClosed):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
-		return statusClientClosedRequest
+		if r.Context().Err() != nil {
+			return statusClientClosedRequest
+		}
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// writeEngineError writes the response for a failed engine call. Shutdown
+// 503s get an explicit shutting-down body so a client (or an operator
+// reading the access log) can tell them from admission-control 503s, which
+// carry the overloaded body and a Retry-After hint instead.
+func writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+	status := statusForError(r, err)
+	if status == http.StatusServiceUnavailable {
+		writeError(w, status, "server is shutting down: %v", err)
+		return
+	}
+	writeError(w, status, "%v", err)
 }
 
 // maxJSONBody caps the small JSON POST bodies (session start, judgments,
@@ -572,11 +625,17 @@ type DurabilityStatus struct {
 
 // StatusResponse is the payload of GET /api/status.
 type StatusResponse struct {
-	Images         int `json:"images"`
-	Dim            int `json:"dim"`
-	Shards         int `json:"shards"`
-	LogSessions    int `json:"log_sessions"`
-	ActiveSessions int `json:"active_sessions"`
+	Images int `json:"images"`
+	Dim    int `json:"dim"`
+	Shards int `json:"shards"`
+	// Epoch is the collection epoch sequence number: 1 for the initial
+	// collection, incremented by every published ingestion.
+	Epoch          int64 `json:"epoch"`
+	LogSessions    int   `json:"log_sessions"`
+	ActiveSessions int   `json:"active_sessions"`
+	// PendingRefines counts asynchronous refinement rounds queued or
+	// running engine-wide.
+	PendingRefines int `json:"pending_refines"`
 	// Admission reports the per-class concurrency limiters: in-flight and
 	// queued requests, configured ceilings, and cumulative admitted/shed
 	// counts.
@@ -629,8 +688,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Images:         s.engine.NumImages(),
 		Dim:            s.engine.Dim(),
 		Shards:         s.engine.NumShards(),
+		Epoch:          s.engine.Epoch(),
 		LogSessions:    s.engine.NumLogSessions(),
 		ActiveSessions: s.numSessions(),
+		PendingRefines: s.engine.PendingRefines(),
 		Admission: AdmissionStatus{
 			Query:  s.limQuery.status(),
 			Train:  s.limTrain.status(),
@@ -704,7 +765,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	results, err := s.engine.InitialQuery(ctx, image, k)
 	if err != nil {
-		writeError(w, statusForError(err), "%v", err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{Query: image, K: k, Results: toResultJSON(results)})
@@ -760,7 +821,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	lists, err := s.engine.InitialQueryBatch(ctx, req.Images, k)
 	if err != nil {
-		writeError(w, statusForError(err), "%v", err)
+		writeEngineError(w, r, err)
 		return
 	}
 	resp := QueryBatchResponse{K: k, Queries: make([]QueryResponse, len(lists))}
@@ -816,7 +877,7 @@ func (s *Server) handleAddImages(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	first, err := s.engine.AddImages(ctx, descriptors)
 	if err != nil {
-		writeError(w, statusForError(err), "%v", err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, AddImagesResponse{
@@ -954,7 +1015,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 			// Backpressure is retryable (429, or 503 when the engine is
 			// shutting down); everything else is a request error that
 			// retrying cannot fix.
-			status := statusForError(err)
+			status := statusForError(r, err)
 			switch {
 			case errors.Is(err, retrieval.ErrTooManyRefines):
 				status = http.StatusTooManyRequests
@@ -977,7 +1038,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	results, err := session.Refine(ctx, kind, req.K)
 	if err != nil {
-		writeError(w, statusForError(err), "%v", err)
+		writeEngineError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RefineResponse{Scheme: string(kind), Results: toResultJSON(results)})
@@ -1067,7 +1128,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, s.cfg.IngestTimeout)
 	defer cancel()
 	if err := session.Commit(ctx); err != nil {
-		writeError(w, statusForError(err), "%v", err)
+		writeEngineError(w, r, err)
 		return
 	}
 	s.dropSession(req.SessionID)

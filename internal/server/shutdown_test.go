@@ -1,0 +1,93 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// An engine shut down under a live server must answer in-flight and
+// subsequent queries with 503 + a shutting-down body — not 499, which
+// blames a client that never hung up. (This was a real bug: statusForError
+// mapped every context.Canceled to 499, including the engine's own
+// shutdown cancellation.)
+func TestEngineShutdownIs503Not499(t *testing.T) {
+	srv, _, engine := testServerWithConfig(t, Config{})
+	engine.Close()
+
+	resp, err := http.Get(srv.URL + "/api/query?image=0&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query against a closed engine: status %d, want 503", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("non-JSON 503 body %q: %v", body, err)
+	}
+	if !strings.Contains(e.Error, "shutting down") {
+		t.Errorf("503 body %q does not say the server is shutting down", e.Error)
+	}
+}
+
+// Engine.Close racing in-flight requests through the full HTTP stack (run
+// with -race): every response is 200 (finished before the close landed) or
+// 503 (engine shut down mid-request) — never 499, the client never
+// disconnected.
+func TestEngineCloseRacesInFlightRequests(t *testing.T) {
+	srv, _, engine := testServerWithConfig(t, Config{})
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				resp, err := http.Get(srv.URL + "/api/query?image=0&k=5")
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+				case http.StatusServiceUnavailable:
+					return // shutdown observed; later requests stay 503
+				default:
+					t.Errorf("worker %d: status %d, want 200 or 503", w, resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	time.Sleep(time.Millisecond)
+	engine.Close()
+	wg.Wait()
+}
+
+// Server.Close alone (engine still alive) also answers with the guard's
+// 503; requests in flight when Close begins complete normally because the
+// sweeper shutdown does not cancel them.
+func TestServerCloseRejectsWith503(t *testing.T) {
+	srv, _, _, s := testServerFull(t, Config{})
+	s.Close()
+	resp, err := http.Get(srv.URL + "/api/query?image=0&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query after Server.Close: status %d, want 503", resp.StatusCode)
+	}
+}
