@@ -1,0 +1,114 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"lrfcsvm/internal/analysis"
+)
+
+// The CI self-test: every analyzer in the suite has a checked-in seed
+// package under testdata/seed/<name> containing exactly one known
+// violation, and the real cbirlint binary must exit non-zero naming that
+// analyzer when pointed at it. An analyzer that silently stops firing —
+// a scope predicate typo, a type-check regression in the loader, a
+// pattern the stdlib's AST shapes drifted away from — fails this test
+// instead of rotting into a permanently green lint job.
+
+// seedScopes loads each seed under an import path its analyzer covers.
+var seedScopes = map[string]string{
+	"determinism":   "lrfcsvm/internal/kernel",
+	"ctxflow":       "lrfcsvm/internal/retrieval",
+	"atomicpublish": "lrfcsvm/internal/retrieval",
+	"exppurity":     "lrfcsvm/internal/core",
+	"lockjournal":   "lrfcsvm/internal/retrieval",
+}
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func buildLint(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cbirlint-selftest-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "cbirlint")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			binPath = ""
+			os.RemoveAll(dir)
+			return
+		}
+		_ = out
+	})
+	if buildErr != nil {
+		t.Fatalf("building cbirlint: %v", buildErr)
+	}
+	return binPath
+}
+
+func TestEveryAnalyzerHasASeed(t *testing.T) {
+	for _, a := range analysis.All() {
+		if _, ok := seedScopes[a.Name]; !ok {
+			t.Errorf("analyzer %s has no seed scope; add one here and a package under testdata/seed/%s", a.Name, a.Name)
+			continue
+		}
+		if _, err := os.Stat(filepath.Join("testdata", "seed", a.Name)); err != nil {
+			t.Errorf("analyzer %s has no seed package: %v", a.Name, err)
+		}
+	}
+	for name := range seedScopes {
+		if _, err := analysis.ByName(name); err != nil {
+			t.Errorf("seed %s names no registered analyzer", name)
+		}
+	}
+}
+
+func TestSelfTestSeededViolations(t *testing.T) {
+	bin := buildLint(t)
+	for _, a := range analysis.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			scope := seedScopes[a.Name]
+			if scope == "" {
+				t.Fatalf("no seed scope for %s", a.Name)
+			}
+			cmd := exec.Command(bin, "-run", a.Name, "-pkgpath", scope, "./testdata/seed/"+a.Name)
+			out, err := cmd.CombinedOutput()
+			if err == nil {
+				t.Fatalf("cbirlint exited 0 on the seeded %s violation:\n%s", a.Name, out)
+			}
+			exit, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("running cbirlint: %v\n%s", err, out)
+			}
+			if exit.ExitCode() != 1 {
+				t.Fatalf("cbirlint exit code %d on seeded %s violation, want 1 (violations found):\n%s", exit.ExitCode(), a.Name, out)
+			}
+			if !strings.Contains(string(out), a.Name+":") {
+				t.Fatalf("cbirlint output does not name %s:\n%s", a.Name, out)
+			}
+		})
+	}
+}
+
+// TestCleanPackageExitsZero pins the other half of the exit-code
+// contract on a package with no violations.
+func TestCleanPackageExitsZero(t *testing.T) {
+	bin := buildLint(t)
+	out, err := exec.Command(bin, "./.").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cbirlint on its own (clean) package: %v\n%s", err, out)
+	}
+}

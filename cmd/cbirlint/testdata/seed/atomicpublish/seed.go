@@ -1,0 +1,19 @@
+// Package seed carries one known atomicpublish violation for the CI
+// self-test.
+package seed
+
+import "sync/atomic"
+
+type state struct {
+	epoch int64
+}
+
+// Publish moves the epoch atomically.
+func (s *state) Publish() {
+	atomic.AddInt64(&s.epoch, 1)
+}
+
+// Torn reads the atomically-published field without sync/atomic.
+func (s *state) Torn() int64 {
+	return s.epoch
+}

@@ -1,0 +1,9 @@
+// Package seed carries one known ctxflow violation for the CI self-test.
+package seed
+
+import "context"
+
+// Placeholder leaves a TODO context on the serving path.
+func Placeholder() context.Context {
+	return context.TODO()
+}

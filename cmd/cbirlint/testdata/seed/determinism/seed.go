@@ -1,0 +1,11 @@
+// Package seed carries one known determinism violation; the CI self-test
+// asserts cbirlint still exits non-zero on it, so a silently broken
+// analyzer cannot rot into a green badge.
+package seed
+
+import "time"
+
+// Stamp reads the wall clock in a bit-identical package.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

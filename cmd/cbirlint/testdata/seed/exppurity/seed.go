@@ -1,0 +1,10 @@
+// Package seed carries one known exppurity violation for the CI
+// self-test.
+package seed
+
+import "math"
+
+// Score forks the pinned exponential outside internal/kernel.
+func Score(x float64) float64 {
+	return math.Exp(-x)
+}

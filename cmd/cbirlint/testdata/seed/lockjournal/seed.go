@@ -1,0 +1,21 @@
+// Package seed carries one known lockjournal violation for the CI
+// self-test.
+package seed
+
+import "sync"
+
+// Sink mirrors the engine's journal sink.
+type Sink interface {
+	AppendSession(int) error
+}
+
+// Engine holds a journal sink behind a mutation mutex it fails to take.
+type Engine struct {
+	mu      sync.Mutex
+	Journal Sink
+}
+
+// Commit appends to the journal without holding the mutex.
+func (e *Engine) Commit(x int) error {
+	return e.Journal.AppendSession(x)
+}

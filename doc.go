@@ -122,6 +122,27 @@
 // engine-wide cap (Options.MaxPendingRefines) rejects submission bursts
 // instead of queueing unbounded training work.
 //
+// # Static analysis and enforced invariants
+//
+// The contracts the suites above can only spot-check are enforced
+// mechanically by a repo-specific analyzer suite (internal/analysis,
+// driven by cmd/cbirlint and run as a required CI job): determinism
+// forbids wall-clock reads, unseeded randomness and order-dependent
+// map iteration in the bit-identical packages (internal/kernel,
+// internal/core, internal/svm, internal/feedbacklog); ctxflow forbids
+// fabricated context.Background()/TODO() and dropped ctx parameters on
+// the serving path (internal/retrieval, internal/server,
+// internal/core); atomicpublish requires that any struct field ever
+// touched through sync/atomic is never also read or written plainly in
+// its package; exppurity confines math.Exp and friends to
+// internal/kernel, where the pinned ≤2-ulp exponential lives; and
+// lockjournal requires journal appends to happen inside the engine
+// mutation mutex, before the state mutation they cover. Violations are
+// suppressed only by an audited //cbirlint:ignore <analyzer> <reason>
+// directive, and stale or malformed directives are themselves
+// violations. Run it locally with "make lint" or
+// "go run ./cmd/cbirlint ./...".
+//
 // Start with the README for an architecture overview, DESIGN.md for the
 // system inventory and per-experiment index, and EXPERIMENTS.md for the
 // paper-versus-measured results. The public entry points live under

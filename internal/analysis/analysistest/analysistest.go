@@ -1,0 +1,127 @@
+// Package analysistest runs one analyzer over a testdata fixture package
+// and checks its diagnostics against `// want` comments, mirroring the
+// x/tools harness of the same name on the standard library only.
+//
+// A fixture is an ordinary compiling package under
+// internal/analysis/testdata/<analyzer>/<name>. Lines expected to be
+// flagged carry a trailing comment of Go-quoted regular expressions:
+//
+//	return time.Now() // want `time\.Now in bit-identical package`
+//
+// Every diagnostic must be wanted and every want must be matched —
+// including the driver's own diagnostics for malformed or stale
+// cbirlint:ignore directives, so the suppression machinery is testable
+// with the same fixtures. The fixture is loaded under a caller-chosen
+// import path, which is how path-scoped analyzers are opted in (positive
+// fixtures) or out (negative fixtures) without leaving testdata.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lrfcsvm/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// Run loads fixtureDir (relative to the test's working directory) as a
+// single package with import path asImportPath, runs just the given
+// analyzer through the driver (including cbirlint:ignore handling), and
+// compares diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtureDir, asImportPath string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".", "./"+strings.TrimPrefix(fixtureDir, "./"))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	pkg, err := loader.LoadAs(asImportPath)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", fixtureDir, err)
+	}
+	diags, err := analysis.Check(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, fixtureDir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats, err := parsePatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], pats...)
+			}
+		}
+	}
+
+	got := make(map[key][]analysis.Diagnostic)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		got[k] = append(got[k], d)
+	}
+
+	for k, pats := range wants {
+		ds := got[k]
+		if len(ds) != len(pats) {
+			t.Errorf("%s:%d: want %d diagnostic(s), got %d: %v", k.file, k.line, len(pats), len(ds), messages(ds))
+			continue
+		}
+		for i, pat := range pats {
+			if !pat.MatchString(ds[i].Message) {
+				t.Errorf("%s:%d: diagnostic %q does not match want pattern %q", k.file, k.line, ds[i].Message, pat)
+			}
+		}
+	}
+	for k, ds := range got {
+		if _, ok := wants[k]; !ok {
+			t.Errorf("%s:%d: unexpected diagnostic(s): %v", k.file, k.line, messages(ds))
+		}
+	}
+}
+
+// parsePatterns reads a space-separated sequence of Go string literals
+// (quoted or backquoted), each a regular expression.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		lit, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		s = s[len(lit):]
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}
+
+func messages(ds []analysis.Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Analyzer + ": " + d.Message
+	}
+	return out
+}

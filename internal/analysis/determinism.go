@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the bit-identical contract of the numeric packages:
+// every golden MAP, every "grown engine == rebuilt engine" pin and every
+// crash-replay equality rests on kernel/core/svm/feedbacklog computing the
+// exact same bits on every run. Wall-clock reads, globally-seeded
+// randomness and map-iteration order are the three ways nondeterminism
+// sneaks into such code, so all three are forbidden outright here:
+//
+//   - time.Now / time.Since / time.Until — a wall-clock read cannot feed a
+//     deterministic score; clocks belong to the serving layers, which
+//     inject them (see server.Config and storage's snapshotter).
+//   - math/rand and math/rand/v2 — the global source is seeded per
+//     process; only explicitly constructed generators with constant seeds
+//     are allowed (rand.New(rand.NewSource(42))), matching the fixed-seed
+//     xorshift the IVF k-means already uses.
+//   - range over a map — iteration order is randomized per run, and in
+//     these packages even "harmless" float accumulation over a map is
+//     order-sensitive. Deterministic code sorts keys first (as
+//     feedbacklog's column construction does) or keeps slices. The one
+//     allowed shape is the canonical key-collection loop
+//     `for k := range m { keys = append(keys, k) }` — set membership is
+//     order-free and the collected keys are sorted before use, which the
+//     surrounding code shows locally. Anything else in a map range body
+//     is flagged.
+//
+// Deliberate exceptions carry a //cbirlint:ignore determinism <reason>.
+var Determinism = &Analyzer{
+	Name:     "determinism",
+	Doc:      "forbid wall-clock reads, unseeded randomness and map-order iteration in the bit-identical numeric packages",
+	Contract: "golden MAPs and replayed rankings are bit-identical across runs (PR 1, pinned by internal/eval golden tests)",
+	Applies: ScopeSuffix(
+		"internal/kernel",
+		"internal/core",
+		"internal/svm",
+		"internal/feedbacklog",
+	),
+	Run: runDeterminism,
+}
+
+// randSeededConstructors are the math/rand constructors that take an
+// explicit seed; their arguments must be compile-time constants.
+var randSeededConstructors = map[string]bool{
+	"NewSource":  true, // math/rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				obj := p.TypesInfo.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "time":
+					switch obj.Name() {
+					case "Now", "Since", "Until":
+						p.Reportf(n.Pos(), "time.%s in bit-identical package %s: clocks are injected by the serving layer, never read here", obj.Name(), p.Pkg.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					checkRandUse(p, n, obj)
+				}
+			case *ast.CallExpr:
+				checkRandSeedCall(p, n)
+			case *ast.RangeStmt:
+				if t := p.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok && !isKeyCollectLoop(p, n) {
+						p.Reportf(n.Pos(), "map iteration order is nondeterministic; sort the keys first (bit-identical package %s)", p.Pkg.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isKeyCollectLoop reports whether the range statement is exactly the
+// canonical key-collection idiom: `for k := range m { keys = append(keys, k) }`
+// with no value variable and a single append of the key. Membership
+// collection is order-free; determinism then rests on the sort the
+// surrounding code applies before use, which review can check locally.
+func isKeyCollectLoop(p *Pass, n *ast.RangeStmt) bool {
+	key, ok := n.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if n.Value != nil {
+		if v, ok := n.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	if len(n.Body.List) != 1 {
+		return false
+	}
+	assign, ok := n.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || assign.Tok.String() != "=" {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if _, ok := p.TypesInfo.Uses[fn].(*types.Builtin); !ok {
+		return false // shadowed append is not the idiom
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// checkRandUse flags references to math/rand package-level functions other
+// than constructors: those draw from the per-process global source.
+// Methods on an explicitly constructed *rand.Rand are fine (its seed is
+// checked at the construction site by checkRandSeedCall).
+func checkRandUse(p *Pass, sel *ast.SelectorExpr, obj types.Object) {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return // type names (rand.Rand, rand.Source) are fine
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods on a constructed generator are fine
+	}
+	if strings.HasPrefix(fn.Name(), "New") {
+		return // constructors; seeded ones are checked at the call site
+	}
+	p.Reportf(sel.Pos(), "%s.%s draws from the global rand source; construct a fixed-seed generator instead", obj.Pkg().Path(), fn.Name())
+}
+
+// checkRandSeedCall requires constant arguments on the seed-taking
+// math/rand constructors, so "fixed seed" is checkable, not a comment.
+func checkRandSeedCall(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := p.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	path := obj.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if !randSeededConstructors[obj.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if tv, ok := p.TypesInfo.Types[arg]; !ok || tv.Value == nil {
+			p.Reportf(arg.Pos(), "%s.%s needs a compile-time constant seed for reproducible runs", path, obj.Name())
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import "go/ast"
+
+// ExpPurity keeps internal/kernel the single source of truth for
+// exponentials. PR 1 introduced the two-lane Cephes fast path and PR 8
+// pinned its contract: every batched RBF exponential routes through the
+// backend expLanes hook, bit-identical across backends and within 2 ulp of
+// math.Exp inside [-700, 700]. A stray math.Exp in scoring code would fork
+// that contract — two exponentials with different rounding feeding the
+// same ranking — and silently break cross-backend bit-identity, so outside
+// internal/kernel the exp family is forbidden. Cold paths with a genuine
+// need (one-time filter construction, command-line reporting) carry a
+// //cbirlint:ignore exppurity <reason>; hot paths call kernel's batched
+// primitives instead.
+var ExpPurity = &Analyzer{
+	Name:     "exppurity",
+	Doc:      "forbid math.Exp and friends outside internal/kernel's pinned exp implementation",
+	Contract: "one exponential implementation, ≤2 ulp of math.Exp, bit-identical across kernel backends (PR 1/PR 8, pinned by FuzzExp and the backend parity suite)",
+	Applies:  ExcludeSuffix("internal/kernel"),
+	Run:      runExpPurity,
+}
+
+// expFuncs is the math exp family whose rounding the kernel contract pins.
+var expFuncs = map[string]bool{
+	"Exp":   true,
+	"Exp2":  true,
+	"Expm1": true,
+}
+
+func runExpPurity(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "math" || !expFuncs[obj.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "math.%s outside internal/kernel forks the pinned exponential; route through the kernel backend (expLanes) or annotate a cold path", obj.Name())
+			return true
+		})
+	}
+	return nil
+}

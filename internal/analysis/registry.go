@@ -1,0 +1,24 @@
+package analysis
+
+import "fmt"
+
+// All returns the full cbirlint analyzer suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicPublish,
+		CtxFlow,
+		Determinism,
+		ExpPurity,
+		LockJournal,
+	}
+}
+
+// ByName resolves a comma-free analyzer name.
+func ByName(name string) (*Analyzer, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+}

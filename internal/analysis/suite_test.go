@@ -1,0 +1,94 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"lrfcsvm/internal/analysis"
+	"lrfcsvm/internal/analysis/analysistest"
+)
+
+// Positive fixtures load under an import path the analyzer covers;
+// negative fixtures prove scoping and the allowed idioms.
+
+func TestDeterminismScoped(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "testdata/determinism/scoped", "lrfcsvm/internal/kernel")
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "testdata/determinism/unscoped", "lrfcsvm/internal/imaging")
+}
+
+func TestCtxFlowServing(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "testdata/ctxflow/serving", "lrfcsvm/internal/retrieval")
+}
+
+func TestCtxFlowMainPackageExempt(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "testdata/ctxflow/mainpkg", "lrfcsvm/internal/server")
+}
+
+func TestAtomicPublish(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicPublish, "testdata/atomicpublish/a", "lrfcsvm/internal/retrieval")
+}
+
+func TestExpPurityHotPath(t *testing.T) {
+	analysistest.Run(t, analysis.ExpPurity, "testdata/exppurity/hotpath", "lrfcsvm/internal/core")
+}
+
+func TestExpPurityKernelExempt(t *testing.T) {
+	analysistest.Run(t, analysis.ExpPurity, "testdata/exppurity/kernelpkg", "lrfcsvm/internal/kernel")
+}
+
+func TestLockJournal(t *testing.T) {
+	analysistest.Run(t, analysis.LockJournal, "testdata/lockjournal/a", "lrfcsvm/internal/retrieval")
+}
+
+func TestSuppressDirectives(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "testdata/suppress/a", "lrfcsvm/internal/retrieval")
+}
+
+// TestScopePredicates pins the path matching the scoped analyzers rely on.
+func TestScopePredicates(t *testing.T) {
+	in := analysis.ScopeSuffix("internal/kernel", "internal/core")
+	for path, want := range map[string]bool{
+		"lrfcsvm/internal/kernel":  true,
+		"lrfcsvm/internal/core":    true,
+		"internal/kernel":          true,
+		"lrfcsvm/internal/kernelx": false,
+		"lrfcsvm/internal/svm":     false,
+		"otherinternal/kernel":     false,
+	} {
+		if got := in(path); got != want {
+			t.Errorf("ScopeSuffix(%q) = %v, want %v", path, got, want)
+		}
+	}
+	out := analysis.ExcludeSuffix("internal/kernel")
+	if out("lrfcsvm/internal/kernel") {
+		t.Error("ExcludeSuffix should exclude internal/kernel")
+	}
+	if !out("lrfcsvm/internal/core") {
+		t.Error("ExcludeSuffix should include internal/core")
+	}
+}
+
+// TestRegistry pins the suite composition CI's self-test iterates over.
+func TestRegistry(t *testing.T) {
+	want := []string{"atomicpublish", "ctxflow", "determinism", "exppurity", "lockjournal"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Contract == "" {
+			t.Errorf("%s: missing Doc or Contract", a.Name)
+		}
+		if _, err := analysis.ByName(a.Name); err != nil {
+			t.Errorf("ByName(%s): %v", a.Name, err)
+		}
+	}
+	if _, err := analysis.ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}

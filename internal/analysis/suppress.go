@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// cbirlint:ignore directives.
+//
+// A finding that is deliberate — a documented lifecycle root calling
+// context.Background, a cold-path exponential that must not route through
+// the kernel backend — is silenced in place with
+//
+//	//cbirlint:ignore <analyzer> <reason>
+//
+// either on the offending line or on the line directly above it. The
+// analyzer name must match a running analyzer and the reason is mandatory:
+// a suppression is an audited decision, not an off switch. Malformed
+// directives and directives that no longer suppress anything are
+// themselves diagnostics, so stale annotations cannot accumulate.
+
+const ignorePrefix = "//cbirlint:ignore"
+
+// directive is one parsed cbirlint:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+	bad      string // non-empty: malformed, value is the complaint
+}
+
+// collectDirectives scans a package's comments for cbirlint:ignore lines.
+func collectDirectives(pkg *LoadedPackage) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				d := &directive{pos: pkg.Fset.Position(c.Pos())}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				d.analyzer = name
+				d.reason = strings.TrimSpace(reason)
+				switch {
+				case d.analyzer == "":
+					d.bad = "cbirlint:ignore needs an analyzer name and a reason"
+				case d.reason == "":
+					d.bad = "cbirlint:ignore " + d.analyzer + " needs a reason"
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions filters diags through the package's cbirlint:ignore
+// directives and appends diagnostics for malformed or unused directives.
+// ran lists the analyzers that actually ran on the package (an unused
+// check only applies to those, so running a subset via -run never flags
+// another analyzer's directives).
+func applySuppressions(pkg *LoadedPackage, diags []Diagnostic, ran []*Analyzer) []Diagnostic {
+	dirs := collectDirectives(pkg)
+	if len(dirs) == 0 {
+		return diags
+	}
+	ranNames := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		if a.Applies == nil || a.Applies(pkg.Path) {
+			ranNames[a.Name] = true
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.bad != "" || dir.analyzer != d.Analyzer {
+				continue
+			}
+			if dir.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			// A directive covers its own line (trailing comment) and the
+			// line below it (standalone comment above the statement).
+			if d.Pos.Line == dir.pos.Line || d.Pos.Line == dir.pos.Line+1 {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range dirs {
+		switch {
+		case dir.bad != "":
+			kept = append(kept, Diagnostic{Analyzer: "cbirlint", Pos: dir.pos, Message: dir.bad})
+		case !dir.used && ranNames[dir.analyzer]:
+			kept = append(kept, Diagnostic{Analyzer: "cbirlint", Pos: dir.pos,
+				Message: "cbirlint:ignore " + dir.analyzer + " suppresses nothing; delete it"})
+		}
+	}
+	sortDiagnostics(kept)
+	return kept
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

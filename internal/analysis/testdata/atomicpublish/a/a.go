@@ -1,0 +1,56 @@
+// Package a is the atomicpublish fixture: the seq field is published with
+// sync/atomic, so every plain access to it is a torn-access bug; the
+// never-atomic other field stays free.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	seq   int64
+	other int64
+}
+
+// bump publishes seq atomically, marking the field.
+func (c *counter) bump() int64 {
+	return atomic.AddInt64(&c.seq, 1)
+}
+
+// read is a sanctioned atomic access.
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.seq)
+}
+
+// torn reads the atomically-published field without sync/atomic.
+func (c *counter) torn() int64 {
+	return c.seq // want `published with atomic\.`
+}
+
+// tornWrite stores without sync/atomic.
+func (c *counter) tornWrite() {
+	c.seq = 0 // want `published with atomic\.`
+}
+
+// escape leaks the field's address outside the atomic API.
+func (c *counter) escape() *int64 {
+	return &c.seq // want `published with atomic\.`
+}
+
+// plain touches a field that is never atomic: fine.
+func (c *counter) plain() int64 {
+	c.other++
+	return c.other
+}
+
+// newCounter uses keyed-literal initialization: construction happens
+// before the value is shared, so it is exempt.
+func newCounter() *counter {
+	return &counter{seq: 1}
+}
+
+var _ = newCounter
+var _ = (*counter).bump
+var _ = (*counter).read
+var _ = (*counter).torn
+var _ = (*counter).tornWrite
+var _ = (*counter).escape
+var _ = (*counter).plain

@@ -1,0 +1,12 @@
+// Command mainpkg is the ctxflow negative fixture: package main owns its
+// root context, so context.Background is legal even under a serving-path
+// import path.
+package main
+
+import "context"
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = ctx
+}

@@ -1,0 +1,49 @@
+// Package serving is the ctxflow positive fixture, loaded under a
+// serving-path import path (lrfcsvm/internal/retrieval).
+package serving
+
+import "context"
+
+// Root conjures a fresh root context on the serving path.
+func Root() context.Context {
+	return context.Background() // want `context\.Background on the serving path`
+}
+
+// Todo leaves a placeholder context behind.
+func Todo() context.Context {
+	return context.TODO() // want `context\.TODO on the serving path`
+}
+
+// Dropped promises propagation its body does not deliver.
+func Dropped(ctx context.Context, n int) int { // want `context parameter "ctx" is dropped`
+	return n * 2
+}
+
+// Threaded passes its context down: fine.
+func Threaded(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+// Blank declares explicitly that it ignores the context: fine.
+func Blank(_ context.Context, n int) int {
+	return n
+}
+
+// DeferredUse reads ctx only inside a deferred closure: still used.
+func DeferredUse(ctx context.Context) (err error) {
+	defer func() { err = ctx.Err() }()
+	return nil
+}
+
+// Closure drops the context inside a function literal.
+var Closure = func(ctx context.Context) error { // want `context parameter "ctx" is dropped`
+	return nil
+}
+
+func work(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}

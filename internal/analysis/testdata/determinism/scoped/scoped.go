@@ -1,0 +1,79 @@
+// Package scoped is a determinism fixture loaded under a bit-identical
+// package path (lrfcsvm/internal/kernel), so every check fires.
+package scoped
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock inside a deterministic package.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now in bit-identical package`
+}
+
+// Elapsed derives a duration from the wall clock.
+func Elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want `time\.Since in bit-identical package`
+}
+
+// GlobalRand draws from the process-global source.
+func GlobalRand() float64 {
+	return rand.Float64() // want `draws from the global rand source`
+}
+
+// GlobalRandV2 draws from the v2 global source.
+func GlobalRandV2() int {
+	return randv2.IntN(10) // want `draws from the global rand source`
+}
+
+// SeededOK constructs a fixed-seed generator: allowed.
+func SeededOK() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// SeededBad seeds from a runtime value.
+func SeededBad(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `needs a compile-time constant seed`
+}
+
+// SumMap accumulates floats in map order.
+func SumMap(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+// DoubleInside does more than collect keys inside a map range.
+func DoubleInside(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+		m[k] *= 2
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// SortedKeys is the canonical key-collection idiom: allowed.
+func SortedKeys(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// SliceRange ranges over a slice: always fine.
+func SliceRange(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}

@@ -1,0 +1,20 @@
+// Package unscoped is the determinism negative fixture: identical sins,
+// but loaded under a serving-layer import path the analyzer does not
+// cover, so nothing may be reported.
+package unscoped
+
+import "time"
+
+// Stamp may read the clock here: this package is not bit-identical.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// SumMap may iterate a map here.
+func SumMap(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,26 @@
+// Package hotpath is the exppurity positive fixture, loaded under a
+// scoring-path import path (lrfcsvm/internal/core) where the exp family
+// must route through the kernel backend.
+package hotpath
+
+import "math"
+
+// Score calls math.Exp outside the kernel.
+func Score(x float64) float64 {
+	return math.Exp(-x) // want `forks the pinned exponential`
+}
+
+// Scale calls another member of the exp family.
+func Scale(x float64) float64 {
+	return math.Exp2(x) // want `forks the pinned exponential`
+}
+
+// Taylor calls the third member.
+func Taylor(x float64) float64 {
+	return math.Expm1(x) // want `forks the pinned exponential`
+}
+
+// Safe uses math functions outside the pinned family: fine.
+func Safe(x float64) float64 {
+	return math.Sqrt(math.Abs(x))
+}

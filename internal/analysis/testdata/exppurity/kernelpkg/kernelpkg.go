@@ -1,0 +1,12 @@
+// Package kernelpkg is the exppurity negative fixture: loaded under
+// lrfcsvm/internal/kernel, where the pinned exp implementation itself
+// lives, math.Exp is the oracle and stays legal.
+package kernelpkg
+
+import "math"
+
+// ExpOne delegates to the oracle, as kernel's exp fast path does outside
+// its pinned window.
+func ExpOne(x float64) float64 {
+	return math.Exp(x)
+}

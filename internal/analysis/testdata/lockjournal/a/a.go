@@ -1,0 +1,98 @@
+// Package a is the lockjournal fixture: a miniature of the retrieval
+// engine's journal-before-mutate pattern, with every way to get it wrong.
+package a
+
+import "sync"
+
+// Sink is the journal sink, mirroring retrieval.JournalSink.
+type Sink interface {
+	AppendSession(int) error
+}
+
+// Options carries the sink under the field name the analyzer keys on.
+type Options struct {
+	Journal Sink
+}
+
+// Engine mirrors the real engine's lock-then-journal-then-mutate shape.
+type Engine struct {
+	mu   sync.Mutex
+	opts Options
+	n    int
+}
+
+// Good is the contract: lock held, journal first, mutation after.
+func (e *Engine) Good(x int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.opts.Journal != nil {
+		if err := e.opts.Journal.AppendSession(x); err != nil {
+			return err
+		}
+	}
+	e.n++
+	return nil
+}
+
+// Unlocked appends without the mutex.
+func (e *Engine) Unlocked(x int) error {
+	return e.opts.Journal.AppendSession(x) // want `outside the mutation mutex`
+}
+
+// MutatesFirst mutates state before the append.
+func (e *Engine) MutatesFirst(x int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.n++
+	return e.opts.Journal.AppendSession(x) // want `state mutated before this journal append`
+}
+
+// StoresFirst publishes through a field method before the append.
+func (e *Engine) StoresFirst(x int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.opts.Journal = nil
+	return e.opts.Journal.AppendSession(x) // want `state mutated before this journal append`
+}
+
+// LockReleased appends after dropping the mutex.
+func (e *Engine) LockReleased(x int) error {
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+	return e.opts.Journal.AppendSession(x) // want `outside the mutation mutex`
+}
+
+// RelockedClean re-acquires before appending; the earlier mutation was in
+// a previous critical section: fine.
+func (e *Engine) RelockedClean(x int) error {
+	e.mu.Lock()
+	e.n++
+	e.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.opts.Journal.AppendSession(x)
+}
+
+// FnOptions carries a func-typed sink, the other call shape.
+type FnOptions struct {
+	Journal func(int) error
+}
+
+// FnEngine exercises the direct-call form.
+type FnEngine struct {
+	mu   sync.Mutex
+	opts FnOptions
+}
+
+// Direct calls the func-typed sink without the mutex.
+func (e *FnEngine) Direct(x int) error {
+	return e.opts.Journal(x) // want `outside the mutation mutex`
+}
+
+// DirectLocked holds the mutex: fine.
+func (e *FnEngine) DirectLocked(x int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.opts.Journal(x)
+}

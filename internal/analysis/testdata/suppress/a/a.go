@@ -1,0 +1,32 @@
+// Package a exercises the cbirlint:ignore machinery: used directives in
+// both placements silence their finding, while stale and malformed
+// directives are themselves diagnostics.
+package a
+
+import "context"
+
+// Root carries a standalone directive on the line above: suppressed.
+func Root() context.Context {
+	//cbirlint:ignore ctxflow fixture lifecycle root, documented here
+	return context.Background()
+}
+
+// Todo carries a trailing directive on the offending line: suppressed.
+func Todo() context.Context {
+	return context.TODO() //cbirlint:ignore ctxflow trailing-comment placement
+}
+
+// Unsuppressed has a directive naming a different analyzer, which must
+// not silence a ctxflow finding (and, running ctxflow alone, the stale
+// determinism directive is not flagged either).
+func Unsuppressed() context.Context {
+	//cbirlint:ignore determinism wrong analyzer on purpose
+	return context.Background() // want `context\.Background on the serving path`
+}
+
+// Clean uses its context: nothing to report. (Stale and malformed
+// directives are covered by the suppress unit test in package analysis —
+// a want comment cannot share a line with the directive it describes.)
+func Clean(ctx context.Context) error {
+	return ctx.Err()
+}

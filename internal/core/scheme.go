@@ -64,6 +64,7 @@ func (ctx *QueryContext) Context() context.Context {
 	if ctx.Ctx != nil {
 		return ctx.Ctx
 	}
+	//cbirlint:ignore ctxflow accessor default for an optional field, mirroring http.Request.Context; callers thread Ctx in
 	return context.Background()
 }
 

@@ -97,11 +97,19 @@ func (l *Log) AddSession(s Session) (int, error) {
 	if s.QueryImage < 0 || s.QueryImage >= l.numImages {
 		return 0, fmt.Errorf("feedbacklog: query image %d outside collection of %d images", s.QueryImage, l.numImages)
 	}
-	for img, j := range s.Judgments {
+	// Validate in ascending image order so a session with several bad
+	// judgments reports the same error on every run — replay tooling and
+	// tests compare these messages, and map order would shuffle them.
+	imgs := make([]int, 0, len(s.Judgments))
+	for img := range s.Judgments {
+		imgs = append(imgs, img)
+	}
+	sort.Ints(imgs)
+	for _, img := range imgs {
 		if img < 0 || img >= l.numImages {
 			return 0, fmt.Errorf("feedbacklog: judgment for image %d outside collection of %d images", img, l.numImages)
 		}
-		if j != Relevant && j != Irrelevant {
+		if j := s.Judgments[img]; j != Relevant && j != Irrelevant {
 			return 0, fmt.Errorf("feedbacklog: invalid judgment %d for image %d", j, img)
 		}
 	}
@@ -212,6 +220,7 @@ func (l *Log) Stats() Stats {
 	judged := make(map[int]bool)
 	for _, s := range l.sessions {
 		st.TotalJudgments += len(s.Judgments)
+		//cbirlint:ignore determinism integer counters and set membership are iteration-order independent
 		for img, j := range s.Judgments {
 			judged[img] = true
 			if j == Relevant {
@@ -237,6 +246,7 @@ func (l *Log) Stats() Stats {
 func (l *Log) DenseRelevanceMatrix() *linalg.Matrix {
 	m := linalg.NewMatrix(len(l.sessions), l.numImages)
 	for sid, s := range l.sessions {
+		//cbirlint:ignore determinism each (session, image) cell is written exactly once; order cannot show
 		for img, j := range s.Judgments {
 			m.Set(sid, img, float64(j))
 		}

@@ -196,6 +196,7 @@ func NewEngine(visual []linalg.Vector, log *feedbacklog.Log, opts Options) (*Eng
 		opts.ANN.RebuildTailFraction = DefaultANNRebuildTailFraction
 	}
 	e := &Engine{opts: opts, log: log, trainSem: make(chan struct{}, opts.TrainWorkers)}
+	//cbirlint:ignore ctxflow engine lifecycle root: baseCtx parents all background work and Close cancels it
 	e.baseCtx, e.baseCancel = context.WithCancel(context.Background())
 	e.epochSeq.Store(1)
 	e.cur.Store(&epoch{visual: visual, batch: core.NewShardedCollectionBatch(visual, opts.ShardSize)})
